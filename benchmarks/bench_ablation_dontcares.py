@@ -1,0 +1,51 @@
+"""Ablation: rugged with and without don't-care-based full_simplify.
+
+SIS ``script.rugged`` ends with ``full_simplify``; our substitute makes the
+pass optional.  This bench measures its effect on literal counts after
+pre-structuring and on CLB counts after mapping, for circuits small enough
+for the exact BDD don't-care computation.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.algebraic.rugged import rugged
+from repro.benchcircuits import get_circuit
+from repro.mapping.flow import FlowConfig, verify_flow_sim
+from repro.mapping.structural import synthesize_structural
+from repro.mapping.xc3000 import pack_xc3000
+from repro.network.stats import network_stats
+
+MODULE = "ablation_dontcares"
+CIRCUITS = ["rd73", "z4ml", "misex1", "clip"]
+
+_rows: list[tuple[str, int, int]] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Ablation: rugged with/without don't-care full_simplify ==")
+    emit(MODULE, f"{'net':>8} {'dc':>4} {'lits':>6} {'CLBs':>6}")
+    yield
+    for name, without, with_dc in _rows:
+        assert with_dc <= without + 1, f"{name}: don't-cares should not hurt"
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_dontcare_ablation(benchmark, name):
+    net = get_circuit(name).build()
+    plain = rugged(net.copy(), use_dont_cares=False)
+    with_dc = benchmark.pedantic(
+        lambda: rugged(net.copy(), use_dont_cares=True), rounds=1, iterations=1
+    )
+
+    results = {}
+    for label, pre in (("off", plain), ("on", with_dc)):
+        mapped = synthesize_structural(pre, FlowConfig(k=5, mode="multi"))
+        assert verify_flow_sim(net, mapped)
+        clbs = pack_xc3000(mapped.network).num_clbs
+        lits = network_stats(pre).num_literals
+        results[label] = clbs
+        emit(MODULE, f"{name:>8} {label:>4} {lits:>6} {clbs:>6}")
+    _rows.append((name, results["off"], results["on"]))

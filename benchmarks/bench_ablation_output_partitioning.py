@@ -1,0 +1,64 @@
+"""Ablation: output partitioning (grouping outputs into vectors f).
+
+Section 7 attributes alu2's 902 CPU seconds to the greedy trial
+decompositions and suggests better output partitioning as future work.
+This bench compares:
+
+- ``greedy``  -- the paper's heuristic (trial decompositions, undo on
+  gain decrease);
+- ``fast``    -- the future-work variant: trial-free grouping by support
+  overlap (``partition_outputs_fast``);
+- ``none``    -- every output alone (equivalent to single-output flow in
+  grouping terms but still using the implicit decomposer).
+
+The expected shape: greedy <= none in CLBs (sharing helps), and fast lands
+between them at a fraction of the grouping cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.benchcircuits import get_circuit
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+from repro.mapping.xc3000 import pack_xc3000
+
+MODULE = "ablation_output_partitioning"
+CIRCUITS = ["rd73", "z4ml", "5xp1", "f51m"]
+
+_rows: dict[str, dict[str, int]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Ablation: output partitioning (multi mode, k = 5) ==")
+    emit(MODULE, f"{'net':>6} {'grouping':>9} {'CLBs':>6} {'CPU-proxy groups':>17}")
+    yield
+    for name, per in _rows.items():
+        if "greedy" in per and "none" in per:
+            assert per["greedy"] <= per["none"], (
+                f"{name}: greedy grouping should not lose to no grouping"
+            )
+
+
+def _config(grouping: str) -> FlowConfig:
+    if grouping == "greedy":
+        return FlowConfig(k=5, mode="multi")
+    if grouping == "fast":
+        return FlowConfig(k=5, mode="multi", output_grouping="fast")
+    if grouping == "none":
+        return FlowConfig(k=5, mode="multi", use_output_partitioning=False)
+    raise ValueError(grouping)
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("grouping", ["greedy", "fast", "none"])
+def test_output_partitioning(benchmark, name, grouping):
+    net = get_circuit(name).build()
+    result = benchmark.pedantic(
+        lambda: synthesize(net, _config(grouping)), rounds=1, iterations=1
+    )
+    assert verify_flow(net, result)
+    clbs = pack_xc3000(result.network).num_clbs
+    _rows.setdefault(name, {})[grouping] = clbs
+    emit(MODULE, f"{name:>6} {grouping:>9} {clbs:>6} {len(result.records):>17}")

@@ -1,0 +1,88 @@
+"""Ablation: non-strict vs strict multiple-output decomposition.
+
+Section 1 of the paper positions its non-strict algorithm against the strict
+(one-code-per-compatibility-class) multiple-output methods of refs [10, 11]:
+"If just one code is assigned to each equivalence class ... not all common
+decomposition functions can be detected."  This bench runs both variants on
+benchmark vectors and reports q (total decomposition functions) -- strict
+should never beat non-strict and should lose outright where sharing needs
+split classes (the paper's own running example: q = 3 vs 4).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.benchcircuits import get_circuit
+from repro.imodec.decomposer import decompose_multi
+from repro.network.collapse import collapse
+from repro.partitioning.variables import choose_bound_set
+
+MODULE = "ablation_strict"
+CIRCUITS = ["rd73", "z4ml", "f51m", "5xp1"]
+
+_rows: list[tuple[str, int, int]] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Ablation: non-strict (paper) vs strict decomposition ==")
+    emit(MODULE, f"{'net':>6} {'q non-strict':>13} {'q strict':>9} {'sum c_k':>8}")
+    yield
+    assert all(loose <= strict for _, loose, strict in _rows)
+    wins = sum(1 for _, loose, strict in _rows if loose < strict)
+    emit(MODULE, f"  non-strict finds strictly more sharing on {wins}/{len(_rows)} "
+                 f"vectors (arithmetic vectors often share class-constant "
+                 f"functions, where both variants coincide)")
+
+
+def test_fig2_vector_separates_the_variants(benchmark):
+    """The paper's own f1/f2 vector: non-strict q = 3, strict q = 4."""
+    from repro.bdd.manager import BDD
+    from repro.boolfunc.truthtable import TruthTable
+
+    rows1 = ["00010111", "11111110", "11111110", "00010110"]
+    rows2 = ["00010101", "01111110", "01111110", "11101010"]
+
+    def table(rows):
+        return TruthTable.from_function(
+            5,
+            lambda x1, x2, x3, y1, y2: rows[int(f"{y1}{y2}", 2)][int(f"{x1}{x2}{x3}", 2)] == "1",
+        )
+
+    bdd = BDD()
+    for i in range(5):
+        bdd.add_var(f"v{i}")
+    nodes = [table(rows1).to_bdd(bdd, range(5)), table(rows2).to_bdd(bdd, range(5))]
+
+    loose = benchmark.pedantic(
+        lambda: decompose_multi(bdd, nodes, [0, 1, 2], [3, 4], build_g=False),
+        rounds=1, iterations=1,
+    )
+    strict = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4], build_g=False, strict=True)
+    assert loose.num_functions == 3
+    assert strict.num_functions == 4
+    _rows.append(("fig2", loose.num_functions, strict.num_functions))
+    emit(MODULE, f"{'fig2':>6} {loose.num_functions:>13} {strict.num_functions:>9} "
+                 f"{loose.num_functions_unshared:>8}  <- the paper's running example")
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_strict_vs_nonstrict(benchmark, name):
+    net = get_circuit(name).build()
+    collapsed = collapse(net)
+    bdd = collapsed.bdd
+    nodes = [collapsed.output_nodes[o] for o in net.outputs]
+    levels = sorted(set().union(*(bdd.support(n) for n in nodes)))
+    b = min(5, len(levels) - 1)
+    bs, fs = choose_bound_set(bdd, nodes, levels, b)
+
+    loose = benchmark.pedantic(
+        lambda: decompose_multi(bdd, nodes, bs, fs, build_g=False),
+        rounds=1, iterations=1,
+    )
+    strict = decompose_multi(bdd, nodes, bs, fs, build_g=False, strict=True)
+    assert loose.num_functions <= strict.num_functions
+    _rows.append((name, loose.num_functions, strict.num_functions))
+    emit(MODULE, f"{name:>6} {loose.num_functions:>13} {strict.num_functions:>9} "
+                 f"{loose.num_functions_unshared:>8}")

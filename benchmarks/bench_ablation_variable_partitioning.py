@@ -1,0 +1,51 @@
+"""Ablation: bound-set selection strategies (variable partitioning).
+
+The paper notes that a bad variable partition shows up as a large number of
+global classes p, which Property 1 turns into an early abort signal.  This
+bench decomposes the same circuits with exhaustive, greedy and random
+bound-set selection and reports p and the final CLB counts -- random
+partitioning should inflate both.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.benchcircuits import get_circuit
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+from repro.mapping.xc3000 import pack_xc3000
+
+MODULE = "ablation_variable_partitioning"
+CIRCUITS = ["rd73", "f51m", "clip"]
+STRATEGIES = ["exhaustive", "greedy", "random"]
+
+_rows: dict[str, dict[str, tuple[int, int]]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Ablation: variable-partitioning strategy (multi mode, k = 5) ==")
+    emit(MODULE, f"{'net':>6} {'strategy':>11} {'max p':>6} {'CLBs':>6}")
+    yield
+    for net_name, per in _rows.items():
+        if "exhaustive" in per and "random" in per:
+            assert per["exhaustive"][1] <= per["random"][1] + 2, (
+                f"{net_name}: exhaustive bound sets should not lose to random"
+            )
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_variable_partitioning(benchmark, name, strategy):
+    net = get_circuit(name).build()
+    config = FlowConfig(k=5, mode="multi", var_strategy=strategy)
+
+    result = benchmark.pedantic(
+        lambda: synthesize(net, config), rounds=1, iterations=1
+    )
+    assert verify_flow(net, result)
+    clbs = pack_xc3000(result.network).num_clbs
+    _rows.setdefault(name, {})[strategy] = (result.max_globals, clbs)
+    emit(MODULE, f"{name:>6} {strategy:>11} {result.max_globals:>6} {clbs:>6}")

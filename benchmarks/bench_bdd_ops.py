@@ -1,0 +1,80 @@
+"""Substrate microbenchmarks: the BDD operations behind the implicit algorithm.
+
+Includes a scaling check of the ``subset(delta, l)`` threshold construction
+(Fig. 4), whose cost the paper states as O(delta * l) BDD operations.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.bdd.manager import BDD, FALSE
+from repro.bdd.satcount import satcount
+from repro.imodec.chi import threshold_at_least
+from repro.imodec.zspace import ZSpace
+
+MODULE = "bdd_ops"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== BDD substrate microbenchmarks ==")
+    yield
+
+
+def build_adder_manager(bits: int):
+    bdd = BDD()
+    a = [bdd.add_var(f"a{i}") for i in range(bits)]
+    b = [bdd.add_var(f"b{i}") for i in range(bits)]
+    return bdd, a, b
+
+
+@pytest.mark.parametrize("bits", [8, 12])
+def test_bench_adder_carry(benchmark, bits):
+    """Build the carry chain of a ripple adder via ITE."""
+
+    def build():
+        bdd, a, b = build_adder_manager(bits)
+        carry = FALSE
+        for x, y in zip(a, b):
+            s = bdd.apply_xor(x, y)
+            carry = bdd.apply_or(bdd.apply_and(x, y), bdd.apply_and(s, carry))
+        return bdd, carry
+
+    bdd, carry = benchmark(build)
+    assert len(bdd.support(carry)) == 2 * bits
+
+
+@pytest.mark.parametrize("n", [16, 20])
+def test_bench_satcount_parity(benchmark, n):
+    bdd = BDD()
+    f = FALSE
+    for i in range(n):
+        f = bdd.apply_xor(f, bdd.add_var(f"x{i}"))
+    count = benchmark(lambda: satcount(bdd, f, range(n)))
+    assert count == 1 << (n - 1)
+
+
+@pytest.mark.parametrize("l,delta", [(16, 4), (32, 8), (64, 16)])
+def test_bench_subset_threshold(benchmark, l, delta):
+    """subset(delta, l) of Fig. 4: O(delta * l) BDD operations."""
+    zspace = ZSpace(l)
+    lits = [zspace.bdd.var(i) for i in range(l)]
+
+    node = benchmark(lambda: threshold_at_least(zspace, lits, delta))
+    # sanity: count equals sum of binomials C(l, k) for k >= delta
+    from math import comb
+
+    expected = sum(comb(l, k) for k in range(delta, l + 1))
+    assert zspace.count(node) == expected
+    emit(MODULE, f"  subset(delta={delta}, l={l}) built, "
+                 f"{zspace.bdd.num_nodes} manager nodes")
+
+
+def test_bench_compose_chain(benchmark):
+    """Vector composition of the kind used by decomposition verification."""
+    bdd = BDD()
+    xs = [bdd.add_var(f"x{i}") for i in range(12)]
+    f = bdd.conjoin(bdd.apply_xor(xs[i], xs[i + 1]) for i in range(11))
+    sub = {i: bdd.apply_and(xs[(i + 1) % 12], xs[(i + 2) % 12]) for i in range(6)}
+    benchmark(lambda: bdd.compose(f, sub))

@@ -1,0 +1,66 @@
+"""Fig. 1: single-output vs multiple-output decomposition of rd53, k = 4.
+
+The paper's opening figure decomposes the 5-input/3-output ones-counter
+rd53 into 4-input LUTs: per-output (single-output) decomposition duplicates
+logic, multiple-output decomposition shares the d-functions.  This bench
+regenerates both mappings, checks exact equivalence, and compares the LUT
+counts (paper: 11 LUTs single vs 7 LUTs multiple-output).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.benchcircuits import get_circuit
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+
+MODULE = "fig1_rd53"
+PAPER = {"single": 11, "multi": 7}
+_measured: dict[str, int] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Fig. 1: rd53 decomposed into 4-input LUTs ==")
+    yield
+    if len(_measured) == 2:
+        emit(
+            MODULE,
+            f"  paper:    single = {PAPER['single']} LUTs, "
+            f"multiple-output = {PAPER['multi']} LUTs "
+            f"(saving {PAPER['single'] - PAPER['multi']})",
+        )
+        emit(
+            MODULE,
+            f"  measured: single = {_measured['single']} LUTs, "
+            f"multiple-output = {_measured['multi']} LUTs "
+            f"(saving {_measured['single'] - _measured['multi']})",
+        )
+        emit(MODULE, "  shape check: multiple-output uses fewer LUTs -> "
+                     + ("OK" if _measured["multi"] < _measured["single"] else "MISMATCH"))
+
+
+@pytest.mark.parametrize("mode", ["single", "multi"])
+def test_fig1_rd53(benchmark, mode):
+    net = get_circuit("rd53").build()
+
+    def run():
+        return synthesize(net, FlowConfig(k=4, mode=mode))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert verify_flow(net, result)
+    _measured[mode] = result.num_luts
+    emit(MODULE, f"  {mode:>6}: {result.num_luts} LUTs "
+                 f"(m = {result.max_group_outputs}, p = {result.max_globals})")
+
+
+def test_fig1_sharing_is_real(benchmark):
+    """The multi-output mapping must share at least one d-function."""
+    net = get_circuit("rd53").build()
+    result = benchmark.pedantic(
+        lambda: synthesize(net, FlowConfig(k=4, mode="multi")), rounds=1, iterations=1
+    )
+    shared_records = [
+        r for r in result.records if r.num_functions < r.num_functions_unshared
+    ]
+    assert shared_records, "rd53 outputs must share decomposition functions"

@@ -1,0 +1,52 @@
+"""Substrate bench: implicit (meta-product) vs explicit prime computation.
+
+The paper's implicit algorithm descends from Coudert--Madre implicit prime
+sets (its reference [13]); this bench shows the same scalability story on
+our implementation: explicit Quine--McCluskey enumeration walks every prime,
+while the meta-product BDD counts 3^(n/3) primes without listing them.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, reset_results
+from repro.boolfunc.truthtable import TruthTable
+from repro.twolevel.exact import prime_implicants
+from repro.twolevel.implicit_primes import MetaProducts
+
+MODULE = "implicit_primes"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Implicit vs explicit prime-implicant computation ==")
+    yield
+
+
+def achilles(blocks: int) -> TruthTable:
+    n = 3 * blocks
+
+    def fn(*xs):
+        return all(sum(xs[3 * i : 3 * i + 3]) >= 2 for i in range(blocks))
+
+    return TruthTable.from_function(n, fn)
+
+
+@pytest.mark.parametrize("blocks", [2, 3])
+def test_explicit_qm(benchmark, blocks):
+    table = achilles(blocks)
+    primes = benchmark(lambda: prime_implicants(table))
+    assert len(primes) == 3**blocks
+
+
+@pytest.mark.parametrize("blocks", [2, 3, 4])
+def test_implicit_metaproducts(benchmark, blocks):
+    table = achilles(blocks)
+
+    def run():
+        mp = MetaProducts(table.num_vars)
+        return mp.count(mp.primes_of_table(table))
+
+    count = benchmark(run)
+    assert count == 3**blocks
+    emit(MODULE, f"  {3 * blocks:>2} vars: {count} primes counted implicitly")

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+prints a paper-vs-measured comparison.  Output goes through :func:`emit`,
+which bypasses pytest's capture (so the tables are visible in a plain
+``pytest benchmarks/ --benchmark-only`` run) and is appended to
+``benchmarks/results/<module>.txt`` for the record.
+
+Set ``REPRO_BENCH_QUICK=1`` to restrict the circuit sets to the fast subset
+(useful while iterating; the full run takes on the order of 15 minutes,
+dominated by alu4 and the des rugged script -- the paper's own Table 2 had
+the same hot spots).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def emit(module: str, text: str) -> None:
+    """Print a line past pytest's capture and append it to the results file."""
+    sys.__stderr__.write(text + "\n")
+    sys.__stderr__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{module}.txt", "a", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+def reset_results(module: str) -> None:
+    """Truncate the results file of a module at the start of its run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{module}.txt").write_text("", encoding="utf-8")
+
+
+def fmt(value, width: int = 7) -> str:
+    """Right-aligned cell; '-' for None."""
+    return f"{'-' if value is None else value:>{width}}"

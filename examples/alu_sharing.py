@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inspecting sharing: which decomposition functions do ALU outputs share?
+
+Decomposes the result bits of a 4-bit ALU as one vector and reports, for
+each shared decomposition function, the outputs using it -- the paper's
+central mechanism made visible.  Also demonstrates Property 1 (the
+ceil(ld p) lower bound) and the preferable-function counts of Table 1.
+
+Run:  python examples/alu_sharing.py
+"""
+
+from repro.benchcircuits.alu import alu2_syn
+from repro.decompose.compat import codewidth
+from repro.imodec.counting import (
+    count_all_functions,
+    count_assignable,
+    count_preferable,
+)
+from repro.imodec.decomposer import decompose_multi
+from repro.imodec.globalpart import local_classes_as_global_ids
+from repro.network.collapse import collapse
+from repro.partitioning.variables import choose_bound_set
+
+
+def main() -> None:
+    net = alu2_syn()
+    collapsed = collapse(net)
+    bdd = collapsed.bdd
+    outputs = [collapsed.output_nodes[name] for name in net.outputs[:4]]  # result bits
+
+    levels = sorted(collapsed.input_levels.values())
+    bs, fs = choose_bound_set(bdd, outputs, levels, bound_size=5)
+    bs_names = [bdd.var_name(lvl) for lvl in bs]
+    print(f"bound set: {bs_names}")
+
+    result = decompose_multi(bdd, outputs, bs, fs)
+    print(f"outputs (m):             {result.num_outputs}")
+    print(f"local classes (l_k):     {[p.num_blocks for p in result.local_partitions]}")
+    print(f"codewidths (c_k):        {result.codewidths}")
+    print(f"global classes (p):      {result.num_global_classes}")
+    print(f"Property 1 lower bound:  q >= {result.lower_bound()}")
+    print(f"functions used (q):      {result.num_functions} "
+          f"(vs {result.num_functions_unshared} without sharing)")
+
+    print("\nsharing map:")
+    for i, d in enumerate(result.d_pool):
+        users = ", ".join(f"out{k}" for k in d.users)
+        print(f"  d{i}: used by [{users}]")
+
+    print("\nTable 1-style counts (per output, empty partial assignment):")
+    b = len(bs)
+    print(f"  upper bounds: 2^2^b = {count_all_functions(b):.2e}, "
+          f"2^p = {count_constructable_str(result.num_global_classes)}")
+    for k, part in enumerate(result.local_partitions):
+        c_k = codewidth(part.num_blocks)
+        if c_k == 0:
+            continue
+        assignable = count_assignable(part.block_sizes(), c_k)
+        classes = local_classes_as_global_ids(result.global_part, part)
+        preferable = count_preferable(classes, result.num_global_classes, c_k)
+        print(f"  out{k}: l_k = {part.num_blocks:>3}  "
+              f"# assignable = {assignable:.3e}  # preferable = {preferable}")
+
+    assert result.verify(bdd, outputs)
+    print("\nverified: every output reconstructs exactly from its g and d's")
+
+
+def count_constructable_str(p: int) -> str:
+    from repro.imodec.counting import count_constructable
+
+    return f"{count_constructable(p):.2e}" if p > 40 else str(count_constructable(p))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Walk through the paper's running example (Fig. 2, Examples 1-7).
+
+Recomputes every intermediate object of the paper's Sections 3-6 for the
+functions f1 and f2 of Fig. 2 and prints them side by side with the values
+stated in the paper.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.bdd import BDD
+from repro.boolfunc import TruthTable
+from repro.decompose.charts import DecompositionChart
+from repro.decompose.compat import codewidth, local_partition
+from repro.imodec.chi import chi_for_output
+from repro.imodec.decomposer import decompose_multi
+from repro.imodec.globalpart import global_partition, local_classes_as_global_ids
+from repro.imodec.zspace import ZSpace
+
+# Fig. 2 chart rows (rows y1y2 = 00, 01, 10, 11; columns x1x2x3 = 000..111).
+F1_ROWS = ["00010111", "11111110", "11111110", "00010110"]
+F2_ROWS = ["00010101", "01111110", "01111110", "11101010"]
+
+
+def table_from_chart(rows):
+    def fn(x1, x2, x3, y1, y2):
+        return rows[int(f"{y1}{y2}", 2)][int(f"{x1}{x2}{x3}", 2)] == "1"
+
+    return TruthTable.from_function(5, fn)
+
+
+def label(vertex):
+    """Vertex index -> the paper's x1x2x3 column label."""
+    return "".join("1" if (vertex >> j) & 1 else "0" for j in range(3))
+
+
+def show_partition(name, partition):
+    blocks = [
+        "{" + ",".join(sorted(label(v) for v in block)) + "}"
+        for block in partition.blocks()
+    ]
+    print(f"  {name} = {{ {', '.join(blocks)} }}")
+
+
+def main() -> None:
+    t1, t2 = table_from_chart(F1_ROWS), table_from_chart(F2_ROWS)
+    bdd = BDD()
+    for name in ("x1", "x2", "x3", "y1", "y2"):
+        bdd.add_var(name)
+    f1 = t1.to_bdd(bdd, range(5))
+    f2 = t2.to_bdd(bdd, range(5))
+    bs, fs = [0, 1, 2], [3, 4]
+
+    print("=== Fig. 2: decomposition charts ===")
+    for name, table in (("f1", t1), ("f2", t2)):
+        print(f"{name}:")
+        print(DecompositionChart(table, bs).render())
+
+    print("\n=== Example 1: local compatibility partitions ===")
+    parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+    show_partition("Pi_f1", parts[0])
+    show_partition("Pi_f2", parts[1])
+    print(f"  l_1 = {parts[0].num_blocks} -> c_1 = {codewidth(parts[0].num_blocks)}")
+    print(f"  l_2 = {parts[1].num_blocks} -> c_2 = {codewidth(parts[1].num_blocks)}")
+
+    print("\n=== Example 3: global partition (paper: G1..G5) ===")
+    glob = global_partition(parts)
+    show_partition("Pi^ ", glob)
+    print(f"  p = {glob.num_blocks}  =>  q >= ceil(ld p) = {(glob.num_blocks - 1).bit_length()}  (Property 1)")
+
+    print("\n=== Example 5: characteristic functions chi_k(z) ===")
+    classes = [local_classes_as_global_ids(glob, part) for part in parts]
+    zspace = ZSpace(glob.num_blocks)
+    for k, cls in enumerate(classes):
+        chi = chi_for_output(zspace, [cls], codewidth(parts[k].num_blocks))
+        vertices = sorted(
+            "".join("1" if m[i] else "0" for i in range(glob.num_blocks))
+            for m in zspace.bdd.iter_sat(chi, zspace.levels)
+        )
+        print(f"  chi_{k+1}: {len(vertices)} preferable functions "
+              f"(z1..z5 vertices): {vertices}")
+
+    print("\n=== Example 6: the shared preferable functions (Fig. 5) ===")
+    chi1 = chi_for_output(zspace, [classes[0]], 2)
+    chi2 = chi_for_output(zspace, [classes[1]], 2)
+    both = zspace.bdd.apply_and(chi1, chi2)
+    for m in zspace.bdd.iter_sat(both, zspace.levels):
+        bits = "".join("1" if m[i] else "0" for i in range(5))
+        print(f"  shared z-vertex {bits}  (classes "
+              f"{{{','.join(f'G{i+1}' for i in range(5) if m[i])}}})")
+
+    print("\n=== Examples 3/7: the full decomposition (q = 3, d1 shared) ===")
+    result = decompose_multi(bdd, [f1, f2], bs, fs)
+    print(f"  q = {result.num_functions} decomposition functions "
+          f"(individually the outputs would need {result.num_functions_unshared})")
+    for i, d in enumerate(result.d_pool):
+        users = ",".join(f"f{k+1}" for k in d.users)
+        classes_str = ",".join(f"G{g+1}" for g in sorted(d.classes_on))
+        print(f"  d{i+1} = union of {{{classes_str}}}, used by {users}")
+    assert result.verify(bdd, [f1, f2])
+    print("  verified: f1 = g1(d(x), y), f2 = g2(d(x), y)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without the
+``wheel`` package cannot run PEP 660 editable builds)."""
+
+from setuptools import setup
+
+setup()

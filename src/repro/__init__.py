@@ -1,0 +1,56 @@
+"""repro: functional multiple-output decomposition (IMODEC).
+
+A from-scratch reproduction of Wurth, Eckl, Antreich, "Functional
+Multiple-Output Decomposition: Theory and an Implicit Algorithm" (DAC 1995),
+including every substrate: a BDD package, Boolean function representations,
+a Boolean network, a two-level minimizer, MIS-style algebraic optimization,
+classical single-output decomposition, the implicit multiple-output
+decomposer, variable/output partitioning heuristics, LUT technology mapping
+and XC3000 CLB packing, plus generators for the paper's benchmark circuits.
+
+Quickstart::
+
+    from repro import BDD, decompose_multi
+    from repro.boolfunc import TruthTable
+
+    bdd = BDD()
+    for i in range(5):
+        bdd.add_var(f"x{i}")
+    f1 = TruthTable.from_function(5, lambda *x: sum(x) % 2 == 1).to_bdd(bdd, range(5))
+    f2 = TruthTable.from_function(5, lambda *x: sum(x) >= 3).to_bdd(bdd, range(5))
+    result = decompose_multi(bdd, [f1, f2], bs_levels=[0, 1, 2, 3], fs_levels=[4])
+    assert result.verify(bdd, [f1, f2])
+
+See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md
+for the experiment-by-experiment reproduction notes.
+"""
+
+from repro.bdd import BDD, Function
+from repro.boolfunc import Cube, Sop, TruthTable
+from repro.decompose import Partition, SingleDecomposition, decompose_single
+from repro.imodec import MultiOutputDecomposition, SharedFunction, decompose_multi
+from repro.mapping import FlowConfig, FlowResult, pack_xc3000, synthesize
+from repro.network import LogicNode, Network, collapse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDD",
+    "Cube",
+    "FlowConfig",
+    "FlowResult",
+    "Function",
+    "LogicNode",
+    "MultiOutputDecomposition",
+    "Network",
+    "Partition",
+    "SharedFunction",
+    "SingleDecomposition",
+    "Sop",
+    "TruthTable",
+    "collapse",
+    "decompose_multi",
+    "decompose_single",
+    "pack_xc3000",
+    "synthesize",
+]

@@ -1,0 +1,31 @@
+"""Algebraic multi-level optimization (MIS-style).
+
+The paper pre-structures large circuits with SIS's ``script.rugged`` before
+the "r+" experiments of Table 2.  SIS is not available offline, so this
+package provides the same *role*: weak (algebraic) division, kernel
+computation, greedy common-cube and kernel extraction, node elimination and
+a ``rugged``-like driver script that turns a flat or collapsed network into
+a multi-level network of small-support nodes.
+
+The algorithms are the classical ones from Brayton/Rudell/
+Sangiovanni-Vincentelli's MIS (reference [1] of the paper).
+"""
+
+from repro.algebraic.division import algebraic_divide, cube_to_literals, literals_to_cube
+from repro.algebraic.kernels import all_kernels, is_cube_free, make_cube_free
+from repro.algebraic.extract import extract_cubes, extract_kernels
+from repro.algebraic.rugged import eliminate, rugged, simplify_nodes
+
+__all__ = [
+    "algebraic_divide",
+    "all_kernels",
+    "cube_to_literals",
+    "eliminate",
+    "extract_cubes",
+    "extract_kernels",
+    "is_cube_free",
+    "literals_to_cube",
+    "make_cube_free",
+    "rugged",
+    "simplify_nodes",
+]

@@ -1,0 +1,86 @@
+"""Weak (algebraic) division of SOP covers.
+
+Covers are viewed as algebraic expressions: each cube is a set of literals
+``(variable index, polarity)`` and no Boolean identities beyond commutativity
+are used.  ``F = Q * D + R`` with ``Q`` the quotient and ``R`` the remainder;
+``Q`` is the largest cover such that the product is algebraic (no cancelling
+terms).  This is the classical weak-division algorithm of MIS.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+
+Literal = tuple[int, bool]
+LiteralCube = frozenset[Literal]
+
+
+def cube_to_literals(cube: Cube) -> LiteralCube:
+    """Cube -> frozenset of (variable, polarity) literals."""
+    return frozenset(cube.literals().items())
+
+
+def literals_to_cube(num_vars: int, literals: LiteralCube) -> Cube:
+    """Inverse of :func:`cube_to_literals`."""
+    return Cube.from_literals(num_vars, dict(literals))
+
+
+def cover_to_literalsets(cover: Sop) -> list[LiteralCube]:
+    """Cover -> list of literal sets."""
+    return [cube_to_literals(c) for c in cover.cubes]
+
+
+def literalsets_to_cover(num_vars: int, cubes: list[LiteralCube]) -> Sop:
+    """Inverse of :func:`cover_to_literalsets` (duplicates removed)."""
+    unique = sorted(set(cubes), key=lambda s: (len(s), sorted(s)))
+    return Sop(num_vars, [literals_to_cube(num_vars, s) for s in unique])
+
+
+def algebraic_divide(
+    f_cubes: list[LiteralCube], d_cubes: list[LiteralCube]
+) -> tuple[list[LiteralCube], list[LiteralCube]]:
+    """Weak division: returns (quotient, remainder) with F = Q*D + R.
+
+    The quotient is the intersection over the divisor cubes ``d`` of the sets
+    ``{c \\ d : c in F, d subset of c}``; the remainder is what the product
+    fails to cover.  An empty divisor raises; an empty quotient means D does
+    not algebraically divide F.
+    """
+    if not d_cubes:
+        raise ValueError("cannot divide by the empty cover")
+    quotient: set[LiteralCube] | None = None
+    for d in d_cubes:
+        candidates = {c - d for c in f_cubes if d <= c}
+        quotient = candidates if quotient is None else quotient & candidates
+        if not quotient:
+            break
+    assert quotient is not None
+    if not quotient:
+        return [], list(f_cubes)
+    product = {q | d for q in quotient for d in d_cubes}
+    remainder = [c for c in f_cubes if c not in product]
+    return sorted(quotient, key=lambda s: (len(s), sorted(s))), remainder
+
+
+def divide_cover(cover: Sop, divisor: Sop) -> tuple[Sop, Sop]:
+    """Weak division at the :class:`Sop` level."""
+    if cover.num_vars != divisor.num_vars:
+        raise ValueError("arity mismatch")
+    q, r = algebraic_divide(cover_to_literalsets(cover), cover_to_literalsets(divisor))
+    return (
+        literalsets_to_cover(cover.num_vars, q),
+        literalsets_to_cover(cover.num_vars, r),
+    )
+
+
+def common_cube(cubes: list[LiteralCube]) -> LiteralCube:
+    """Largest cube dividing every cube of the cover (may be empty)."""
+    if not cubes:
+        return frozenset()
+    result = set(cubes[0])
+    for c in cubes[1:]:
+        result &= c
+        if not result:
+            break
+    return frozenset(result)

@@ -1,0 +1,83 @@
+"""Kernels and co-kernels of an algebraic expression.
+
+A *kernel* of a cover F is a cube-free quotient of F by a cube (the
+*co-kernel*).  Kernels are the candidate multi-cube divisors of the
+extraction pass: two expressions share a non-trivial common divisor iff they
+share a kernel intersection (Brayton--McMullen).  The recursive enumeration
+below is the standard one, pruning by literal index to avoid duplicates.
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.division import Literal, LiteralCube, common_cube
+
+
+def is_cube_free(cubes: list[LiteralCube]) -> bool:
+    """True iff no single literal divides every cube."""
+    if not cubes:
+        return False
+    return not common_cube(cubes)
+
+
+def make_cube_free(cubes: list[LiteralCube]) -> list[LiteralCube]:
+    """Divide out the largest common cube."""
+    cc = common_cube(cubes)
+    if not cc:
+        return list(cubes)
+    return [c - cc for c in cubes]
+
+
+def _literal_order(cubes: list[LiteralCube]) -> list[Literal]:
+    """All literals appearing in >= 2 cubes, in a fixed order."""
+    counts: dict[Literal, int] = {}
+    for c in cubes:
+        for lit in c:
+            counts[lit] = counts.get(lit, 0) + 1
+    return sorted((lit for lit, n in counts.items() if n >= 2))
+
+
+def all_kernels(cubes: list[LiteralCube]) -> list[tuple[LiteralCube, tuple[LiteralCube, ...]]]:
+    """All (co-kernel, kernel) pairs of the cover, including (cc, F/cc) at level 0.
+
+    Kernels are returned as sorted tuples of literal cubes; duplicates (same
+    kernel reached through different co-kernels) are kept because the
+    extraction pass wants the co-kernels too.
+    """
+    results: list[tuple[LiteralCube, tuple[LiteralCube, ...]]] = []
+    seen: set[tuple[LiteralCube, tuple[LiteralCube, ...]]] = set()
+
+    literals = _literal_order(cubes)
+    index_of = {lit: i for i, lit in enumerate(literals)}
+
+    def record(cokernel: LiteralCube, kernel: list[LiteralCube]) -> None:
+        key = (cokernel, tuple(sorted(kernel, key=lambda s: (len(s), sorted(s)))))
+        if key not in seen:
+            seen.add(key)
+            results.append(key)
+
+    def rec(current: list[LiteralCube], cokernel: frozenset, min_index: int) -> None:
+        for i in range(min_index, len(literals)):
+            lit = literals[i]
+            sub = [c - {lit} for c in current if lit in c]
+            if len(sub) < 2:
+                continue
+            cc = common_cube(sub)
+            # skip if cc contains a literal with smaller index (already seen)
+            if any(index_of.get(l2, len(literals)) < i for l2 in cc):
+                continue
+            kernel = [c - cc for c in sub]
+            new_cokernel = frozenset(cokernel | {lit} | cc)
+            record(new_cokernel, kernel)
+            rec(kernel, new_cokernel, i + 1)
+
+    if cubes:
+        base = make_cube_free(cubes)
+        if is_cube_free(base) and len(base) >= 2:
+            record(common_cube(cubes), base)
+        rec(list(cubes), frozenset(), 0)
+    return results
+
+
+def kernels_only(cubes: list[LiteralCube]) -> set[tuple[LiteralCube, ...]]:
+    """The distinct kernels (without co-kernels)."""
+    return {kernel for _, kernel in all_kernels(cubes)}

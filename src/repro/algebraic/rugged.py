@@ -1,0 +1,182 @@
+"""A ``script.rugged`` substitute: the technology-independent pre-structuring.
+
+The paper pre-structures large circuits with SIS's ``script.rugged`` before
+the "r+" rows of Table 2.  This module plays that role with the passes built
+in this repository:
+
+    sweep -> eliminate(small) -> extract cubes/kernels -> simplify -> sweep
+
+The goal is the same as in the paper: break flat or collapsed logic into a
+multi-level network whose nodes have small support, so that LUT mapping (and
+IMODEC) start from comparable structure.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.algebraic.extract import (
+    extract_cubes,
+    extract_kernels,
+    node_to_global,
+    set_node_from_global,
+)
+from repro.network.network import Network
+from repro.network.sweep import sweep
+from repro.twolevel.espresso import espresso
+from repro.twolevel.tautology import complement
+
+
+def _compose_into(
+    consumer: list, divisor_on: list, divisor_off: list, signal: str
+) -> list:
+    """Boolean substitution of a node into one consumer's global cubes."""
+    out = []
+    for cube in consumer:
+        pos = (signal, True) in cube
+        neg = (signal, False) in cube
+        if not pos and not neg:
+            out.append(cube)
+            continue
+        base = cube - {(signal, True), (signal, False)}
+        replacement = divisor_on if pos else divisor_off
+        for d in replacement:
+            # drop products with complementary literals
+            merged = dict(base)
+            ok = True
+            for sig, pol in d:
+                if merged.get(sig, pol) != pol:
+                    ok = False
+                    break
+                merged[sig] = pol
+            if ok:
+                out.append(frozenset(merged.items()))
+    return out
+
+
+def eliminate(
+    network: Network,
+    threshold: int = 0,
+    max_support: int = 14,
+    max_node_literals: int = 24,
+) -> int:
+    """Collapse low-value internal nodes into their fanouts (SIS ``eliminate``).
+
+    The *value* of a node is the literal-count increase its elimination would
+    cause: with ``a`` occurrences of the node's literal in fanout covers and
+    ``L`` literals in the node itself, value = a*L - a - L.  Nodes with value
+    <= ``threshold`` are collapsed -- so single-use nodes (value = -1)
+    always go, while multi-fanout nodes are kept unless they are trivial.
+    The substitution must stay within ``max_support`` fanin signals per
+    consumer.  Returns the number of nodes eliminated.
+    """
+    eliminated = 0
+    changed = True
+    while changed:
+        changed = False
+        fanouts = network.fanouts()
+        for name in list(network.nodes):
+            node = network.nodes[name]
+            if name in network.outputs:
+                continue
+            users = fanouts.get(name, [])
+            if not users:
+                continue
+            lits_node = node.cover.num_literals()
+            if lits_node > max_node_literals:
+                continue
+            occurrences = 0
+            for user in users:
+                for cube in network.nodes[user].cover.cubes:
+                    idxs = [
+                        j
+                        for j, f in enumerate(network.nodes[user].fanins)
+                        if f == name
+                    ]
+                    occurrences += sum(1 for j in idxs if j in cube.literals())
+            value = occurrences * lits_node - occurrences - lits_node
+            if value > threshold:
+                continue
+            divisor_on = node_to_global(network, name)
+            off_cover = complement(node.cover)
+            divisor_off = [
+                frozenset(
+                    (node.fanins[j], pol) for j, pol in cube.literals().items()
+                )
+                for cube in off_cover.cubes
+            ]
+            # check the substitution stays small in every user
+            feasible = True
+            rewrites = {}
+            for user in users:
+                merged = _compose_into(
+                    node_to_global(network, user), divisor_on, divisor_off, name
+                )
+                support = {sig for cube in merged for sig, _ in cube}
+                if len(support) > max_support or len(merged) > 64:
+                    feasible = False
+                    break
+                rewrites[user] = merged
+            if not feasible:
+                continue
+            for user, merged in rewrites.items():
+                set_node_from_global(network, user, merged)
+            network.remove_node(name)
+            eliminated += 1
+            changed = True
+            fanouts = network.fanouts()
+    return eliminated
+
+
+def simplify_nodes(network: Network, max_vars: int = 12) -> int:
+    """Espresso every node cover in place; returns literals saved."""
+    saved = 0
+    for name in list(network.nodes):
+        node = network.nodes[name]
+        if node.cover.num_vars > max_vars or not node.cover.cubes:
+            continue
+        before = node.cover.num_literals()
+        minimized = espresso(node.cover)
+        # drop vacuous fanins exposed by minimization
+        used = sorted({j for cube in minimized.cubes for j in cube.literals()})
+        if len(used) < node.cover.num_vars:
+            remap = {j: i for i, j in enumerate(used)}
+            cubes = [
+                Cube.from_literals(
+                    len(used), {remap[j]: p for j, p in c.literals().items()}
+                )
+                for c in minimized.cubes
+            ]
+            fanins = [node.fanins[j] for j in used]
+            network.replace_cover(name, fanins, Sop(len(used), cubes))
+        else:
+            network.replace_cover(name, node.fanins, minimized)
+        saved += before - minimized.num_literals()
+    return saved
+
+
+def rugged(
+    network: Network, rounds: int = 2, use_dont_cares: bool = False
+) -> Network:
+    """Run the full pre-structuring script in place; returns the network.
+
+    ``use_dont_cares=True`` appends a ``full_simplify`` pass (node
+    minimization against BDD-computed network don't-cares), matching the
+    tail of SIS ``script.rugged``.  It is off by default because its cost
+    grows with the primary-input count; the guard inside
+    :func:`repro.dontcare.simplify.full_simplify` skips oversized networks.
+    """
+    sweep(network)
+    simplify_nodes(network)
+    for _ in range(rounds):
+        eliminate(network)
+        extract_cubes(network)
+        extract_kernels(network)
+        simplify_nodes(network)
+        sweep(network)
+    if use_dont_cares:
+        from repro.dontcare.simplify import full_simplify
+
+        full_simplify(network)
+        sweep(network)
+    return network

@@ -1,0 +1,48 @@
+"""Graphviz/dot export of BDDs, for debugging and documentation figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+
+
+def to_dot(bdd: BDD, roots: Mapping[str, int] | Sequence[int]) -> str:
+    """Render the functions in ``roots`` as a dot digraph.
+
+    ``roots`` is either a mapping from labels to node ids or a plain sequence
+    of node ids (labelled ``f0, f1, ...``).  Solid edges are then-edges,
+    dashed edges are else-edges.
+    """
+    if not isinstance(roots, Mapping):
+        roots = {f"f{i}": r for i, r in enumerate(roots)}
+    lines = ["digraph bdd {", "  rankdir=TB;"]
+    lines.append('  node_true [label="1", shape=box];')
+    lines.append('  node_false [label="0", shape=box];')
+
+    def nid(u: int) -> str:
+        if u == TRUE:
+            return "node_true"
+        if u == FALSE:
+            return "node_false"
+        return f"n{u}"
+
+    seen: set[int] = set()
+    stack = list(roots.values())
+    while stack:
+        u = stack.pop()
+        if u in seen or bdd.is_terminal(u):
+            continue
+        seen.add(u)
+        name = bdd.var_name(bdd.level(u))
+        lines.append(f'  n{u} [label="{name}", shape=circle];')
+        lines.append(f"  n{u} -> {nid(bdd.high(u))};")
+        lines.append(f"  n{u} -> {nid(bdd.low(u))} [style=dashed];")
+        stack.append(bdd.low(u))
+        stack.append(bdd.high(u))
+
+    for label, root in roots.items():
+        lines.append(f'  root_{label} [label="{label}", shape=plaintext];')
+        lines.append(f"  root_{label} -> {nid(root)};")
+    lines.append("}")
+    return "\n".join(lines)

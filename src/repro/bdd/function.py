@@ -1,0 +1,208 @@
+"""Operator-overloaded handle for BDD nodes.
+
+A :class:`Function` pairs a node id with its manager so that client code can
+combine functions with Python operators::
+
+    bdd = BDD()
+    x = Function.var(bdd, "x")
+    y = Function.var(bdd, "y")
+    f = (x & ~y) | (y ^ x)
+    assert f.is_sat()
+
+Equality between :class:`Function` objects is *semantic* equality, which the
+ROBDD canonicity reduces to node-id equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+
+
+class Function:
+    """A Boolean function rooted at a node of a :class:`BDD` manager."""
+
+    __slots__ = ("bdd", "node")
+
+    def __init__(self, bdd: BDD, node: int) -> None:
+        self.bdd = bdd
+        self.node = node
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def var(cls, bdd: BDD, name: str) -> "Function":
+        """Literal of the variable called ``name``, creating it if needed."""
+        if name in bdd._name_to_level:
+            return cls(bdd, bdd.var(bdd.level_of(name)))
+        return cls(bdd, bdd.add_var(name))
+
+    @classmethod
+    def true(cls, bdd: BDD) -> "Function":
+        """The constant-true function."""
+        return cls(bdd, TRUE)
+
+    @classmethod
+    def false(cls, bdd: BDD) -> "Function":
+        """The constant-false function."""
+        return cls(bdd, FALSE)
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: "Function | bool") -> int:
+        if isinstance(other, Function):
+            if other.bdd is not self.bdd:
+                raise ValueError("functions belong to different BDD managers")
+            return other.node
+        if isinstance(other, bool):
+            return TRUE if other else FALSE
+        return NotImplemented  # type: ignore[return-value]
+
+    def __and__(self, other: "Function | bool") -> "Function":
+        node = self._coerce(other)
+        return Function(self.bdd, self.bdd.apply_and(self.node, node))
+
+    __rand__ = __and__
+
+    def __or__(self, other: "Function | bool") -> "Function":
+        node = self._coerce(other)
+        return Function(self.bdd, self.bdd.apply_or(self.node, node))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "Function | bool") -> "Function":
+        node = self._coerce(other)
+        return Function(self.bdd, self.bdd.apply_xor(self.node, node))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Function":
+        return Function(self.bdd, self.bdd.apply_not(self.node))
+
+    def implies(self, other: "Function | bool") -> "Function":
+        """Implication ``self -> other``."""
+        node = self._coerce(other)
+        return Function(self.bdd, self.bdd.apply_implies(self.node, node))
+
+    def ite(self, then: "Function | bool", otherwise: "Function | bool") -> "Function":
+        """``self ? then : otherwise``."""
+        t = self._coerce(then)
+        e = self._coerce(otherwise)
+        return Function(self.bdd, self.bdd.ite(self.node, t, e))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Function):
+            return self.bdd is other.bdd and self.node == other.node
+        if isinstance(other, bool):
+            return self.node == (TRUE if other else FALSE)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.bdd), self.node))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        """True iff this is the constant-true function."""
+        return self.node == TRUE
+
+    @property
+    def is_false(self) -> bool:
+        """True iff this is the constant-false function."""
+        return self.node == FALSE
+
+    def is_sat(self) -> bool:
+        """True iff the function has at least one satisfying assignment."""
+        return self.node != FALSE
+
+    def size(self) -> int:
+        """Number of BDD nodes of this function."""
+        return self.bdd.size(self.node)
+
+    def support(self) -> set[str]:
+        """Names of the variables this function depends on."""
+        return {self.bdd.var_name(lvl) for lvl in self.bdd.support(self.node)}
+
+    def support_levels(self) -> set[int]:
+        """Levels of the variables this function depends on."""
+        return self.bdd.support(self.node)
+
+    def __call__(self, **values: bool) -> bool:
+        """Evaluate with variables given by name."""
+        assignment = {self.bdd.level_of(name): val for name, val in values.items()}
+        return self.bdd.eval(self.node, assignment)
+
+    def eval_levels(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate with variables given by level."""
+        return self.bdd.eval(self.node, assignment)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def restrict(self, **values: bool) -> "Function":
+        """Fix named variables to constants."""
+        assignment = {self.bdd.level_of(name): val for name, val in values.items()}
+        return Function(self.bdd, self.bdd.restrict(self.node, assignment))
+
+    def cofactor(self, name: str, value: bool) -> "Function":
+        """Shannon cofactor w.r.t. the named variable."""
+        return Function(self.bdd, self.bdd.cofactor(self.node, self.bdd.level_of(name), value))
+
+    def exists(self, *names: str) -> "Function":
+        """Existentially quantify the named variables."""
+        levels = [self.bdd.level_of(n) for n in names]
+        return Function(self.bdd, self.bdd.exists(self.node, levels))
+
+    def forall(self, *names: str) -> "Function":
+        """Universally quantify the named variables."""
+        levels = [self.bdd.level_of(n) for n in names]
+        return Function(self.bdd, self.bdd.forall(self.node, levels))
+
+    def compose(self, substitution: Mapping[str, "Function"]) -> "Function":
+        """Substitute functions for named variables (simultaneously)."""
+        sub = {self.bdd.level_of(name): fn.node for name, fn in substitution.items()}
+        return Function(self.bdd, self.bdd.compose(self.node, sub))
+
+    # ------------------------------------------------------------------
+    # models
+    # ------------------------------------------------------------------
+
+    def sat_one(self) -> dict[str, bool] | None:
+        """One satisfying partial assignment by variable name, or None."""
+        raw = self.bdd.sat_one(self.node)
+        if raw is None:
+            return None
+        return {self.bdd.var_name(lvl): val for lvl, val in raw.items()}
+
+    def iter_sat(self, names: Sequence[str]) -> Iterator[dict[str, bool]]:
+        """All satisfying total assignments over the named scope."""
+        levels = [self.bdd.level_of(n) for n in names]
+        for model in self.bdd.iter_sat(self.node, levels):
+            yield {self.bdd.var_name(lvl): val for lvl, val in model.items()}
+
+    def count(self, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over the first ``nvars`` variables.
+
+        Defaults to the whole manager scope.
+        """
+        from repro.bdd.satcount import satcount
+
+        if nvars is None:
+            nvars = self.bdd.num_vars
+        return satcount(self.bdd, self.node, range(nvars))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_true:
+            return "Function(TRUE)"
+        if self.is_false:
+            return "Function(FALSE)"
+        return f"Function(node={self.node}, size={self.size()})"

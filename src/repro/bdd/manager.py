@@ -1,0 +1,552 @@
+"""ROBDD node manager.
+
+The manager owns every node and guarantees canonicity: two node ids are equal
+if and only if the Boolean functions they root are equal.  Nodes are stored in
+parallel lists (``_var``, ``_low``, ``_high``) indexed by node id; ids ``0``
+and ``1`` are the terminal nodes.  The *unique table* maps
+``(level, low, high)`` triples to node ids, and a *computed table* memoizes
+ITE calls.
+
+The public API works on raw integer node ids.  Most client code should use
+:class:`repro.bdd.function.Function`, which wraps ids with operator
+overloading; the manager methods remain available for performance-critical
+inner loops (everything in :mod:`repro.imodec` uses them directly).
+
+Variables are identified by *level* (an integer, 0 = topmost in the order)
+and optionally carry a name.  The variable order is the creation order unless
+:func:`repro.bdd.reorder.sift` is applied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+#: Sentinel level of the two terminal nodes; larger than any variable level.
+TERMINAL_LEVEL = 1 << 30
+
+#: Node id of the constant-false terminal.
+FALSE = 0
+#: Node id of the constant-true terminal.
+TRUE = 1
+
+
+class BDD:
+    """A reduced ordered BDD manager.
+
+    Example::
+
+        bdd = BDD()
+        x, y = bdd.add_var("x"), bdd.add_var("y")
+        f = bdd.apply_and(x, bdd.apply_not(y))   # x & ~y
+        assert bdd.eval(f, {0: True, 1: False})
+    """
+
+    def __init__(self) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._var: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        # (level, low, high) -> node id
+        self._unique: dict[tuple[int, int, int], int] = {}
+        # (f, g, h) -> ite(f, g, h)
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        # Per-operation memo tables, cleared together with the ITE cache.
+        self._op_caches: dict[str, dict] = {}
+        self._var_names: list[str] = []
+        self._name_to_level: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: str | None = None) -> int:
+        """Create a new variable at the bottom of the order.
+
+        Returns the node id of the positive literal.  ``name`` defaults to
+        ``v<level>``.
+        """
+        level = len(self._var_names)
+        if name is None:
+            name = f"v{level}"
+        if name in self._name_to_level:
+            raise ValueError(f"variable name {name!r} already exists")
+        self._var_names.append(name)
+        self._name_to_level[name] = level
+        return self._mk(level, FALSE, TRUE)
+
+    def add_vars(self, count: int, prefix: str = "v") -> list[int]:
+        """Create ``count`` fresh variables named ``<prefix>0..``; return literals."""
+        start = len(self._var_names)
+        return [self.add_var(f"{prefix}{start + i}") for i in range(count)]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables declared in this manager."""
+        return len(self._var_names)
+
+    def var(self, level: int) -> int:
+        """Node id of the positive literal of the variable at ``level``."""
+        self._check_level(level)
+        return self._mk(level, FALSE, TRUE)
+
+    def nvar(self, level: int) -> int:
+        """Node id of the negative literal of the variable at ``level``."""
+        self._check_level(level)
+        return self._mk(level, TRUE, FALSE)
+
+    def literal(self, level: int, positive: bool) -> int:
+        """Positive or negative literal of ``level``."""
+        return self.var(level) if positive else self.nvar(level)
+
+    def var_name(self, level: int) -> str:
+        """Name of the variable at ``level``."""
+        self._check_level(level)
+        return self._var_names[level]
+
+    def level_of(self, name: str) -> int:
+        """Level of the variable called ``name``."""
+        return self._name_to_level[name]
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < len(self._var_names):
+            raise ValueError(f"unknown variable level {level}")
+
+    # ------------------------------------------------------------------
+    # node construction and inspection
+    # ------------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (reduction rule)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def level(self, u: int) -> int:
+        """Level of node ``u`` (``TERMINAL_LEVEL`` for constants)."""
+        return self._var[u]
+
+    def low(self, u: int) -> int:
+        """Else-child (variable = 0) of node ``u``."""
+        return self._low[u]
+
+    def high(self, u: int) -> int:
+        """Then-child (variable = 1) of node ``u``."""
+        return self._high[u]
+
+    def is_terminal(self, u: int) -> bool:
+        """True iff ``u`` is one of the constants."""
+        return u <= 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ever allocated (including terminals)."""
+        return len(self._var)
+
+    def size(self, u: int) -> int:
+        """Number of distinct nodes reachable from ``u`` (including terminals)."""
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            if not self.is_terminal(v):
+                stack.append(self._low[v])
+                stack.append(self._high[v])
+        return len(seen)
+
+    def descendants(self, u: int) -> set[int]:
+        """Set of node ids reachable from ``u`` (including ``u`` and terminals)."""
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            if not self.is_terminal(v):
+                stack.append(self._low[v])
+                stack.append(self._high[v])
+        return seen
+
+    def clear_caches(self) -> None:
+        """Drop all memoization tables (nodes are kept)."""
+        self._ite_cache.clear()
+        self._op_caches.clear()
+
+    def cache_size(self) -> int:
+        """Total number of memoized entries across all operation caches."""
+        return len(self._ite_cache) + sum(len(c) for c in self._op_caches.values())
+
+    def maybe_clear_caches(self, limit: int = 2_000_000) -> bool:
+        """Clear the memo tables when they exceed ``limit`` entries.
+
+        Long synthesis runs (hundreds of trial decompositions on one shared
+        manager) would otherwise grow the caches without bound.  Returns True
+        when a clear happened.
+        """
+        if self.cache_size() > limit:
+            self.clear_caches()
+            return True
+        return False
+
+    def _cache(self, name: str) -> dict:
+        cache = self._op_caches.get(name)
+        if cache is None:
+            cache = self._op_caches[name] = {}
+        return cache
+
+    # ------------------------------------------------------------------
+    # core Boolean operations
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h``.  The workhorse of the package."""
+        # Terminal cases.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        h0, h1 = self._cofactors_at(h, top)
+        r0 = self.ite(f0, g0, h0)
+        r1 = self.ite(f1, g1, h1)
+        result = self._mk(top, r0, r1)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors_at(self, u: int, level: int) -> tuple[int, int]:
+        """(low, high) cofactors of ``u`` w.r.t. the variable at ``level``."""
+        if self._var[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    def apply_not(self, f: int) -> int:
+        """Complement of ``f``."""
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction ``f & g``."""
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction ``f | g``."""
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or ``f ^ g``."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        """Equivalence ``f == g`` as a function."""
+        return self.ite(f, g, self.apply_not(g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, TRUE)
+
+    def conjoin(self, fs: Iterable[int]) -> int:
+        """Conjunction of an iterable of functions (TRUE for empty input)."""
+        acc = TRUE
+        for f in fs:
+            acc = self.apply_and(acc, f)
+            if acc == FALSE:
+                return FALSE
+        return acc
+
+    def disjoin(self, fs: Iterable[int]) -> int:
+        """Disjunction of an iterable of functions (FALSE for empty input)."""
+        acc = FALSE
+        for f in fs:
+            acc = self.apply_or(acc, f)
+            if acc == TRUE:
+                return TRUE
+        return acc
+
+    # ------------------------------------------------------------------
+    # cofactors, restriction, quantification, composition
+    # ------------------------------------------------------------------
+
+    def cofactor(self, u: int, level: int, value: bool) -> int:
+        """Restrict variable ``level`` to ``value`` in ``u`` (Shannon cofactor)."""
+        self._check_level(level)
+        return self.restrict(u, {level: value})
+
+    def restrict(self, u: int, assignment: Mapping[int, bool]) -> int:
+        """Simultaneously fix the variables in ``assignment`` (level -> value)."""
+        if not assignment:
+            return u
+        cache = self._cache("restrict")
+        items = tuple(sorted(assignment.items()))
+
+        def walk(v: int) -> int:
+            if self.is_terminal(v):
+                return v
+            lvl = self._var[v]
+            key = (v, items)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            if lvl in assignment:
+                result = walk(self._high[v] if assignment[lvl] else self._low[v])
+            else:
+                r0 = walk(self._low[v])
+                r1 = walk(self._high[v])
+                result = self._mk(lvl, r0, r1)
+            cache[key] = result
+            return result
+
+        return walk(u)
+
+    def exists(self, u: int, levels: Iterable[int]) -> int:
+        """Existential quantification of ``levels`` from ``u``."""
+        lvlset = frozenset(levels)
+        if not lvlset:
+            return u
+        cache = self._cache("exists")
+
+        def walk(v: int) -> int:
+            if self.is_terminal(v):
+                return v
+            lvl = self._var[v]
+            key = (v, lvlset)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            r0 = walk(self._low[v])
+            r1 = walk(self._high[v])
+            if lvl in lvlset:
+                result = self.apply_or(r0, r1)
+            else:
+                result = self._mk(lvl, r0, r1)
+            cache[key] = result
+            return result
+
+        return walk(u)
+
+    def forall(self, u: int, levels: Iterable[int]) -> int:
+        """Universal quantification of ``levels`` from ``u``."""
+        return self.apply_not(self.exists(self.apply_not(u), levels))
+
+    def compose(self, u: int, substitution: Mapping[int, int]) -> int:
+        """Simultaneous substitution of functions for variables.
+
+        ``substitution`` maps variable levels to node ids; every occurrence of
+        the variable is replaced by the corresponding function.  The
+        substitution is simultaneous (not iterated), implemented by the usual
+        recursive ITE formulation.
+        """
+        if not substitution:
+            return u
+        cache = self._cache("compose")
+        items = tuple(sorted(substitution.items()))
+
+        def walk(v: int) -> int:
+            if self.is_terminal(v):
+                return v
+            key = (v, items)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            lvl = self._var[v]
+            r0 = walk(self._low[v])
+            r1 = walk(self._high[v])
+            branch = substitution.get(lvl)
+            if branch is None:
+                branch = self.var(lvl)
+            result = self.ite(branch, r1, r0)
+            cache[key] = result
+            return result
+
+        return walk(u)
+
+    def rename(self, u: int, mapping: Mapping[int, int]) -> int:
+        """Rename variables (level -> level) via composition with literals."""
+        return self.compose(u, {old: self.var(new) for old, new in mapping.items()})
+
+    # ------------------------------------------------------------------
+    # evaluation, support, satisfiability
+    # ------------------------------------------------------------------
+
+    def eval(self, u: int, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate ``u`` under a (complete-enough) level -> value assignment."""
+        while not self.is_terminal(u):
+            lvl = self._var[u]
+            u = self._high[u] if assignment[lvl] else self._low[u]
+        return u == TRUE
+
+    def support(self, u: int) -> set[int]:
+        """Set of variable levels ``u`` depends on."""
+        levels: set[int] = set()
+        for v in self.descendants(u):
+            if not self.is_terminal(v):
+                levels.add(self._var[v])
+        return levels
+
+    def sat_one(self, u: int) -> dict[int, bool] | None:
+        """One satisfying partial assignment (level -> value), or None.
+
+        Variables not mentioned may take any value.
+        """
+        if u == FALSE:
+            return None
+        assignment: dict[int, bool] = {}
+        while not self.is_terminal(u):
+            lvl = self._var[u]
+            if self._low[u] != FALSE:
+                assignment[lvl] = False
+                u = self._low[u]
+            else:
+                assignment[lvl] = True
+                u = self._high[u]
+        return assignment
+
+    def iter_sat(self, u: int, levels: Sequence[int]) -> Iterator[dict[int, bool]]:
+        """Enumerate all total assignments over ``levels`` satisfying ``u``.
+
+        ``levels`` must cover the support of ``u``; variables outside the
+        support are expanded to both values (so the iterator yields exactly
+        the minterms over the given scope).
+        """
+        order = sorted(levels)
+        support = self.support(u)
+        missing = support - set(order)
+        if missing:
+            raise ValueError(f"levels {sorted(missing)} in support but not in scope")
+
+        def rec(v: int, idx: int, partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
+            if v == FALSE:
+                return
+            if idx == len(order):
+                yield dict(partial)
+                return
+            lvl = order[idx]
+            for value in (False, True):
+                if not self.is_terminal(v) and self._var[v] == lvl:
+                    child = self._high[v] if value else self._low[v]
+                else:
+                    child = v
+                partial[lvl] = value
+                yield from rec(child, idx + 1, partial)
+            del partial[lvl]
+
+        yield from rec(u, 0, {})
+
+    # ------------------------------------------------------------------
+    # building from other representations
+    # ------------------------------------------------------------------
+
+    def cube(self, literals: Mapping[int, bool]) -> int:
+        """Conjunction of literals, given as level -> polarity."""
+        result = TRUE
+        for lvl in sorted(literals, reverse=True):
+            result = self._mk(lvl, FALSE, result) if literals[lvl] else self._mk(lvl, result, FALSE)
+        return result
+
+    def minterm(self, levels: Sequence[int], values: Sequence[bool]) -> int:
+        """Minterm over ``levels`` with the given ``values``."""
+        if len(levels) != len(values):
+            raise ValueError("levels and values must have equal length")
+        return self.cube(dict(zip(levels, values)))
+
+    def from_truth_bits(self, bits: int, levels: Sequence[int]) -> int:
+        """Build a BDD from a bit-packed truth table over ``levels``.
+
+        Bit ``i`` of ``bits`` is the function value for the input assignment
+        where ``levels[j]`` takes bit ``j`` of ``i`` (LSB-first convention,
+        matching :class:`repro.boolfunc.truthtable.TruthTable`).  The levels
+        need not be sorted; the BDD is built respecting the manager's order.
+        """
+        n = len(levels)
+        if len(set(levels)) != n:
+            raise ValueError("duplicate levels")
+        full = (1 << (1 << n)) - 1 if n else 1
+        # (level, bit position in the row index), topmost level first.
+        pairs = sorted((lvl, j) for j, lvl in enumerate(levels))
+        return self._from_bits_rec(bits & full, pairs, n)
+
+    def _from_bits_rec(self, bits: int, pairs: list[tuple[int, int]], n: int) -> int:
+        if n == 0:
+            return TRUE if bits & 1 else FALSE
+        level, bitpos = pairs[0]
+        # Split the rows on this variable's bit; renumber by dropping the bit.
+        lo_bits = 0
+        hi_bits = 0
+        low_mask = (1 << bitpos) - 1
+        for row in range(1 << n):
+            if not (bits >> row) & 1:
+                continue
+            sub = ((row >> (bitpos + 1)) << bitpos) | (row & low_mask)
+            if (row >> bitpos) & 1:
+                hi_bits |= 1 << sub
+            else:
+                lo_bits |= 1 << sub
+        rest = [(lvl, p - 1 if p > bitpos else p) for lvl, p in pairs[1:]]
+        lo = self._from_bits_rec(lo_bits, rest, n - 1)
+        hi = self._from_bits_rec(hi_bits, rest, n - 1)
+        return self._mk(level, lo, hi)
+
+    def to_truth_bits(self, u: int, levels: Sequence[int]) -> int:
+        """Bit-packed truth table of ``u`` over ``levels`` (LSB-first rows)."""
+        n = len(levels)
+        support = self.support(u)
+        missing = support - set(levels)
+        if missing:
+            raise ValueError(f"levels {sorted(missing)} in support but not in scope")
+        bits = 0
+        for row in range(1 << n):
+            assignment = {levels[j]: bool((row >> j) & 1) for j in range(n)}
+            if self.eval(u, assignment):
+                bits |= 1 << row
+        return bits
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def build_expr(
+        self,
+        op: str,
+        *operands: int,
+    ) -> int:
+        """Apply a named operator (``and/or/xor/xnor/not/implies``) to operands."""
+        ops: dict[str, Callable[..., int]] = {
+            "and": self.conjoin,
+            "or": self.disjoin,
+        }
+        if op in ops:
+            return ops[op](operands)
+        if op == "not":
+            (f,) = operands
+            return self.apply_not(f)
+        binary = {
+            "xor": self.apply_xor,
+            "xnor": self.apply_xnor,
+            "implies": self.apply_implies,
+        }
+        if op in binary:
+            f, g = operands
+            return binary[op](f, g)
+        raise ValueError(f"unknown operator {op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BDD vars={self.num_vars} nodes={self.num_nodes}>"

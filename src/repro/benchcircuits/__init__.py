@@ -1,0 +1,23 @@
+"""Benchmark circuits for the Table 1 / Table 2 / Fig. 1 experiments.
+
+The paper evaluates on MCNC/ISCAS benchmarks distributed as PLA/BLIF files,
+which are not redistributable here.  This package provides:
+
+- *exact* generators where the benchmark function is mathematically defined
+  (rd53/rd73/rd84 = binary ones-count, 9sym = symmetric popcount band,
+  parity trees);
+- *structured synthetic equivalents* with the same input/output counts and
+  the same kind of multi-output structure (adders, ALUs, saturators, shared
+  product terms) for the rest -- see DESIGN.md section 4 for the full
+  substitution table;
+- a :mod:`~repro.benchcircuits.registry` mapping the paper's circuit names
+  to generators plus the reference numbers from Table 2, so the benchmark
+  harness can print paper-vs-measured rows.
+
+Genuine MCNC files can be dropped in through :func:`repro.io.parse_pla` /
+:func:`repro.io.parse_blif` and used with the same flow.
+"""
+
+from repro.benchcircuits.registry import BenchmarkCircuit, get_circuit, list_circuits
+
+__all__ = ["BenchmarkCircuit", "get_circuit", "list_circuits"]

@@ -1,0 +1,143 @@
+"""ALU-style benchmark circuits (synthetic equivalents).
+
+The MCNC alu2/alu4 and ISCAS C880 benchmarks are arithmetic-logic blocks;
+their synthetic equivalents here implement real ALUs with the original
+input/output counts, preserving the property that matters for the paper:
+the outputs are strongly correlated arithmetic functions with large shared
+substructure.
+"""
+
+from __future__ import annotations
+
+from repro.benchcircuits.arith import _from_tables
+from repro.benchcircuits.builders import (
+    and2,
+    gate,
+    mux2,
+    not1,
+    or2,
+    or_tree,
+    ripple_adder,
+    xor2,
+)
+from repro.boolfunc.truthtable import TruthTable
+from repro.network.network import Network
+
+
+def alu2_syn() -> Network:
+    """alu2 equivalent: 10 in / 6 out.
+
+    Inputs: a[0..3], b[0..3], op[0..1].  Outputs: 4-bit result of
+    {add, and, or, xor}[op], carry-out of the add, and a zero flag.
+    """
+
+    def result_bit(b):
+        def fn(*xs):
+            a = sum(xs[i] << i for i in range(4))
+            c = sum(xs[4 + i] << i for i in range(4))
+            op = xs[8] + 2 * xs[9]
+            value = [a + c, a & c, a | c, a ^ c][op]
+            return bool((value >> b) & 1)
+
+        return fn
+
+    def carry(*xs):
+        a = sum(xs[i] << i for i in range(4))
+        c = sum(xs[4 + i] << i for i in range(4))
+        return bool(((a + c) >> 4) & 1)
+
+    def zero(*xs):
+        a = sum(xs[i] << i for i in range(4))
+        c = sum(xs[4 + i] << i for i in range(4))
+        op = xs[8] + 2 * xs[9]
+        value = [a + c, a & c, a | c, a ^ c][op] & 0xF
+        return value == 0
+
+    tables = [TruthTable.from_function(10, result_bit(b)) for b in range(4)]
+    tables.append(TruthTable.from_function(10, carry))
+    tables.append(TruthTable.from_function(10, zero))
+    return _from_tables("alu2_syn", 10, tables, minimize=False)
+
+
+def alu4_syn() -> Network:
+    """alu4 equivalent: 14 in / 8 out.
+
+    Inputs: a[0..4], b[0..4], op[0..2], cin.  Outputs: 5-bit result of
+    {adc, sbc, and, or, xor, nor, pass-a, pass-b}[op], carry, zero flag... 8.
+    """
+
+    def decode(xs):
+        a = sum(xs[i] << i for i in range(5))
+        b = sum(xs[5 + i] << i for i in range(5))
+        op = xs[10] + 2 * xs[11] + 4 * xs[12]
+        cin = xs[13]
+        ops = [
+            a + b + cin,
+            (a - b - (1 - cin)) & 0x3F,
+            a & b,
+            a | b,
+            a ^ b,
+            (~(a | b)) & 0x1F,
+            a,
+            b,
+        ]
+        return ops[op]
+
+    def result_bit(bit):
+        def fn(*xs):
+            return bool((decode(xs) >> bit) & 1)
+
+        return fn
+
+    def carry(*xs):
+        return bool((decode(xs) >> 5) & 1)
+
+    def zero(*xs):
+        return (decode(xs) & 0x1F) == 0
+
+    tables = [TruthTable.from_function(14, result_bit(b)) for b in range(5)]
+    tables.append(TruthTable.from_function(14, carry))
+    tables.append(TruthTable.from_function(14, zero))
+    tables.append(TruthTable.from_function(14, result_bit(4)))  # duplicated MSB flag
+    return _from_tables("alu4_syn", 14, tables, minimize=False)
+
+
+def c880_syn() -> Network:
+    """C880 equivalent: 60 in / 26 out, a structural 8-bit ALU slice.
+
+    Built as gates (C880 cannot be collapsed -- it is a starred Table 2 row),
+    with an 8-bit adder, logic unit, output muxes and parity/flag outputs.
+    """
+    net = Network("C880_syn")
+    a = [net.add_input(f"a{i}") for i in range(8)]
+    b = [net.add_input(f"b{i}") for i in range(8)]
+    c = [net.add_input(f"c{i}") for i in range(8)]
+    d = [net.add_input(f"d{i}") for i in range(8)]
+    sel = [net.add_input(f"s{i}") for i in range(4)]
+    misc = [net.add_input(f"m{i}") for i in range(24)]
+
+    # adder path
+    sums, cout = ripple_adder(net, a, b, cin=sel[3])
+    # logic path
+    ands = [and2(net, x, y) for x, y in zip(c, d)]
+    xors = [xor2(net, x, y) for x, y in zip(c, d)]
+    # mux between paths
+    outs = [mux2(net, sel[0], s, l) for s, l in zip(sums, ands)]
+    outs2 = [mux2(net, sel[1], o, x) for o, x in zip(outs, xors)]
+    # misc gating
+    gated = [and2(net, o, or2(net, misc[i], misc[i + 8])) for i, o in enumerate(outs2)]
+    flags = [
+        cout,
+        or_tree(net, gated),
+        xor2(net, cout, sel[2]),
+        or_tree(net, [and2(net, misc[16 + i], xors[i]) for i in range(8)]),
+        gate(net, ["111"], [misc[16], misc[17], misc[18]], "f"),
+        not1(net, or_tree(net, ands)),
+        and2(net, misc[20], xor2(net, misc[21], misc[22])),
+        or2(net, misc[23], gated[0]),
+        xor2(net, gated[3], gated[4]),
+        and2(net, gated[5], flags0 := xor2(net, misc[19], cout)),
+    ]
+    outputs = gated + sums + flags  # 8 + 8 + 10 = 26 outputs
+    net.set_outputs(outputs)
+    return net

@@ -1,0 +1,127 @@
+"""Arithmetic benchmark circuits.
+
+``rd53``/``rd73``/``rd84`` are exact: their outputs are the binary ones-count
+of the inputs (the standard definition of the rdXX family).  The remaining
+generators are structured synthetic equivalents with the original
+input/output counts (see DESIGN.md section 4):
+
+- ``z4ml_syn``  -- 7 in / 4 out: sum of a 2-bit, a 2-bit and a 3-bit operand
+  (z4ml is a small adder slice).
+- ``f51m_syn``  -- 8 in / 8 out: low byte of a 4x4 multiply (f51m is an
+  8-bit arithmetic block).
+- ``fivexp1_syn`` -- 7 in / 10 out: ``5*X + 1`` over a 7-bit operand
+  (matching the name "5xp1").
+- ``clip_syn``  -- 9 in / 5 out: signed saturation of a 9-bit value to
+  5 bits (clip is a clipper/limiter).
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.network.network import Network
+from repro.twolevel.espresso import espresso
+
+
+def _from_tables(name: str, num_inputs: int, tables: list[TruthTable], minimize: bool = True) -> Network:
+    """Flat network with one node per output truth table."""
+    net = Network(name)
+    inputs = [net.add_input(f"x{i}") for i in range(num_inputs)]
+    for k, table in enumerate(tables):
+        cover = Sop.from_truthtable(table)
+        if minimize and num_inputs <= 10:
+            cover = espresso(cover)
+        net.add_node(f"f{k}", inputs, cover)
+    net.set_outputs([f"f{k}" for k in range(len(tables))])
+    return net
+
+
+def rd(n: int) -> Network:
+    """The rdXX family: outputs = binary ones-count of ``n`` inputs (exact)."""
+    bits = (n).bit_length()
+    tables = [
+        TruthTable.from_function(n, lambda *xs, b=b: bool((sum(xs) >> b) & 1))
+        for b in range(bits)
+    ]
+    return _from_tables(f"rd{n}{bits}", n, tables)
+
+
+def rd53() -> Network:
+    """rd53: 5 inputs, 3 outputs (exact ones-count) -- the Fig. 1 circuit."""
+    return rd(5)
+
+
+def rd73() -> Network:
+    """rd73: 7 inputs, 3 outputs (exact ones-count)."""
+    return rd(7)
+
+
+def rd84() -> Network:
+    """rd84: 8 inputs, 4 outputs (exact ones-count)."""
+    return rd(8)
+
+
+def z4ml_syn() -> Network:
+    """z4ml equivalent: 7 in / 4 out, sum of 2-bit + 2-bit + 3-bit operands."""
+
+    def out_bit(b):
+        def fn(a0, a1, b0, b1, c0, c1, c2):
+            total = (a0 + 2 * a1) + (b0 + 2 * b1) + (c0 + 2 * c1 + 4 * c2)
+            return bool((total >> b) & 1)
+
+        return fn
+
+    tables = [TruthTable.from_function(7, out_bit(b)) for b in range(4)]
+    return _from_tables("z4ml_syn", 7, tables)
+
+
+def f51m_syn() -> Network:
+    """f51m equivalent: 8 in / 8 out arithmetic block.
+
+    Outputs: the 5 bits of A + B (two 4-bit operands) plus the low 3 bits of
+    A + B + 1 -- two tightly correlated adder slices, matching the small
+    global-class counts the paper reports for f51m (Table 1: l = 2/4/5,
+    p = 5).
+    """
+
+    def out_bit(b, plus_one):
+        def fn(*xs):
+            a = sum(xs[i] << i for i in range(4))
+            c = sum(xs[4 + i] << i for i in range(4))
+            return bool(((a + c + (1 if plus_one else 0)) >> b) & 1)
+
+        return fn
+
+    tables = [TruthTable.from_function(8, out_bit(b, False)) for b in range(5)]
+    tables += [TruthTable.from_function(8, out_bit(b, True)) for b in range(3)]
+    return _from_tables("f51m_syn", 8, tables, minimize=False)
+
+
+def fivexp1_syn() -> Network:
+    """5xp1 equivalent: 7 in / 10 out, ``5*X + 1`` over a 7-bit operand."""
+
+    def out_bit(b):
+        def fn(*xs):
+            value = sum(xs[i] << i for i in range(7))
+            return bool(((5 * value + 1) >> b) & 1)
+
+        return fn
+
+    tables = [TruthTable.from_function(7, out_bit(b)) for b in range(10)]
+    return _from_tables("5xp1_syn", 7, tables)
+
+
+def clip_syn() -> Network:
+    """clip equivalent: 9 in / 5 out, signed saturation of 9 bits to 5 bits."""
+
+    def out_bit(b):
+        def fn(*xs):
+            raw = sum(xs[i] << i for i in range(9))
+            value = raw - 512 if xs[8] else raw  # two's complement, 9 bits
+            clipped = max(-16, min(15, value))
+            return bool(((clipped & 0x1F) >> b) & 1)  # 5-bit two's complement
+
+        return fn
+
+    tables = [TruthTable.from_function(9, out_bit(b)) for b in range(5)]
+    return _from_tables("clip_syn", 9, tables)

@@ -1,0 +1,150 @@
+"""Structural building blocks for benchmark circuits.
+
+All builders append nodes to an existing :class:`~repro.network.network.Network`
+and return the names of the created output signals.  Wide circuits (the
+starred Table 2 rows) are assembled from these blocks instead of truth
+tables, which keeps generation linear in circuit size.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+def gate(net: Network, rows: list[str], fanins: list[str], prefix: str = "g") -> str:
+    """Add a gate with the given PLA rows over ``fanins``; return its name."""
+    name = net.fresh_name(prefix)
+    net.add_node(name, fanins, Sop.from_strings(len(fanins), rows))
+    return name
+
+
+def and2(net: Network, a: str, b: str) -> str:
+    return gate(net, ["11"], [a, b], "and")
+
+
+def or2(net: Network, a: str, b: str) -> str:
+    return gate(net, ["1-", "-1"], [a, b], "or")
+
+
+def xor2(net: Network, a: str, b: str) -> str:
+    return gate(net, ["10", "01"], [a, b], "xor")
+
+
+def not1(net: Network, a: str) -> str:
+    return gate(net, ["0"], [a], "not")
+
+
+def mux2(net: Network, sel: str, a: str, b: str) -> str:
+    """sel ? b : a."""
+    return gate(net, ["01-", "1-1"], [sel, a, b], "mux")
+
+
+def xor_tree(net: Network, signals: list[str]) -> str:
+    """Balanced XOR tree; returns the root signal."""
+    if not signals:
+        raise ValueError("xor tree needs at least one signal")
+    layer = list(signals)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(xor2(net, layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def or_tree(net: Network, signals: list[str]) -> str:
+    """Balanced OR tree; returns the root signal."""
+    if not signals:
+        raise ValueError("or tree needs at least one signal")
+    layer = list(signals)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(or2(net, layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def half_adder(net: Network, a: str, b: str) -> tuple[str, str]:
+    """(sum, carry)."""
+    return xor2(net, a, b), and2(net, a, b)
+
+
+def full_adder(net: Network, a: str, b: str, c: str) -> tuple[str, str]:
+    """(sum, carry)."""
+    s = gate(net, ["100", "010", "001", "111"], [a, b, c], "fas")
+    cy = gate(net, ["11-", "1-1", "-11"], [a, b, c], "fac")
+    return s, cy
+
+
+def ripple_adder(
+    net: Network, a_bits: list[str], b_bits: list[str], cin: str | None = None
+) -> tuple[list[str], str]:
+    """LSB-first ripple-carry adder; returns (sum bits, carry out)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand width mismatch")
+    sums = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        if carry is None:
+            s, carry = half_adder(net, a, b)
+        else:
+            s, carry = full_adder(net, a, b, carry)
+        sums.append(s)
+    assert carry is not None
+    return sums, carry
+
+
+def incrementer(net: Network, bits: list[str], carry_in: str) -> tuple[list[str], str]:
+    """LSB-first increment-by-carry; returns (sum bits, carry out)."""
+    sums = []
+    carry = carry_in
+    for b in bits:
+        s, carry = half_adder(net, b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def popcount(net: Network, signals: list[str]) -> list[str]:
+    """Binary ones-count of the signals, LSB first (adder-tree construction)."""
+    if not signals:
+        raise ValueError("popcount needs at least one signal")
+    # numbers are lists of bits, LSB first; reduce pairwise with adders
+    numbers: list[list[str]] = [[s] for s in signals]
+    while len(numbers) > 1:
+        nxt = []
+        for i in range(0, len(numbers) - 1, 2):
+            a, b = numbers[i], numbers[i + 1]
+            width = max(len(a), len(b))
+            zero = _zero(net)
+            a = a + [zero] * (width - len(a))
+            b = b + [zero] * (width - len(b))
+            sums, cout = ripple_adder(net, a, b)
+            nxt.append(sums + [cout])
+        if len(numbers) % 2:
+            nxt.append(numbers[-1])
+        numbers = nxt
+    return numbers[0]
+
+
+def _zero(net: Network) -> str:
+    """A shared constant-0 signal."""
+    name = "const0"
+    if name not in net.nodes and name not in net.inputs:
+        net.add_constant(name, False)
+    return name
+
+
+def decoder(net: Network, sel: list[str]) -> list[str]:
+    """Full decoder of the select bits: 2^n one-hot outputs."""
+    outs = []
+    n = len(sel)
+    for value in range(1 << n):
+        rows = ["".join("1" if (value >> j) & 1 else "0" for j in range(n))]
+        outs.append(gate(net, rows, sel, "dec"))
+    return outs

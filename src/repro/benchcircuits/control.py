@@ -1,0 +1,40 @@
+"""Control-dominated benchmark circuits (synthetic equivalents).
+
+- ``count_syn`` -- 35 in / 16 out: a 16-bit conditional incrementer (the
+  MCNC ``count`` is a counter/carry-chain circuit); the carry chain gives
+  long shared structure between adjacent output bits.
+- ``e64_syn``   -- 65 in / 65 out: sliding XOR windows; adjacent outputs
+  share 7 of their 8 inputs, mirroring e64's extreme sharing potential
+  (Table 2: 329 CLBs single vs 55 with sharing).
+- ``misex1_syn`` / ``misex2_syn`` -- small control PLAs built from a shared
+  product-term pool (see :mod:`repro.benchcircuits.synthetic`).
+"""
+
+from __future__ import annotations
+
+from repro.benchcircuits.builders import or_tree, xor_tree, incrementer
+from repro.network.network import Network
+
+
+def count_syn() -> Network:
+    """count equivalent: 35 in / 16 out conditional incrementer."""
+    net = Network("count_syn")
+    value = [net.add_input(f"v{i}") for i in range(16)]
+    enables = [net.add_input(f"e{i}") for i in range(19)]
+    enable = or_tree(net, enables)
+    sums, _ = incrementer(net, value, enable)
+    net.set_outputs(sums)
+    return net
+
+
+def e64_syn(window: int = 8) -> Network:
+    """e64 equivalent: 65 in / 65 out sliding XOR windows (wrap-around)."""
+    net = Network("e64_syn")
+    n = 65
+    inputs = [net.add_input(f"x{i}") for i in range(n)]
+    outputs = []
+    for i in range(n):
+        signals = [inputs[(i + j) % n] for j in range(window)]
+        outputs.append(xor_tree(net, signals))
+    net.set_outputs(outputs)
+    return net

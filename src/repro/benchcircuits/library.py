@@ -1,0 +1,137 @@
+"""A small library of exactly defined generic circuits.
+
+Beyond the paper's benchmark set, these parametric generators give users (and
+the test suite) well-understood multi-output functions to experiment with:
+adders, multipliers, comparators, Gray-code converters, priority encoders
+and barrel shifters.  All are built structurally, so arbitrary widths stay
+cheap to generate; the flow collapses them as needed.
+"""
+
+from __future__ import annotations
+
+from repro.benchcircuits.builders import (
+    and2,
+    gate,
+    mux2,
+    not1,
+    or_tree,
+    ripple_adder,
+    xor2,
+)
+from repro.network.network import Network
+
+
+def adder(width: int, with_cin: bool = False) -> Network:
+    """``width``-bit ripple-carry adder: a + b (+ cin) -> sum, carry."""
+    net = Network(f"add{width}")
+    a = [net.add_input(f"a{i}") for i in range(width)]
+    b = [net.add_input(f"b{i}") for i in range(width)]
+    cin = net.add_input("cin") if with_cin else None
+    sums, cout = ripple_adder(net, a, b, cin=cin)
+    net.set_outputs(sums + [cout])
+    return net
+
+
+def multiplier(width: int) -> Network:
+    """``width x width`` array multiplier, full 2*width-bit product."""
+    net = Network(f"mul{width}")
+    a = [net.add_input(f"a{i}") for i in range(width)]
+    b = [net.add_input(f"b{i}") for i in range(width)]
+    # partial products, added row by row (shift-and-add array)
+    zero = None
+
+    def const0() -> str:
+        nonlocal zero
+        if zero is None:
+            zero = net.add_constant("zero", False)
+        return zero
+
+    acc = [and2(net, a[i], b[0]) for i in range(width)]  # row 0
+    acc += [const0()] * width
+    for j in range(1, width):
+        row = [and2(net, a[i], b[j]) for i in range(width)]
+        # add row into acc[j : j + width]
+        segment = acc[j : j + width]
+        sums, carry = ripple_adder(net, segment, row)
+        acc[j : j + width] = sums
+        # propagate the carry through the remaining accumulator bits
+        pos = j + width
+        while pos < len(acc) and carry is not None:
+            s, carry = _half(net, acc[pos], carry)
+            acc[pos] = s
+            pos += 1
+    net.set_outputs(acc)
+    return net
+
+
+def _half(net: Network, a: str, b: str) -> tuple[str, str]:
+    return xor2(net, a, b), and2(net, a, b)
+
+
+def comparator(width: int) -> Network:
+    """Unsigned comparison of two ``width``-bit values: lt, eq, gt."""
+    net = Network(f"cmp{width}")
+    a = [net.add_input(f"a{i}") for i in range(width)]
+    b = [net.add_input(f"b{i}") for i in range(width)]
+    eq = None
+    lt = None
+    # iterate MSB-first, building eq/lt chains
+    for i in reversed(range(width)):
+        bit_eq = gate(net, ["00", "11"], [a[i], b[i]], "eq")
+        bit_lt = gate(net, ["01"], [a[i], b[i]], "lt")
+        if eq is None:
+            eq, lt = bit_eq, bit_lt
+        else:
+            lt = gate(net, ["1--", "-11"], [lt, eq, bit_lt], "ltc")
+            eq = and2(net, eq, bit_eq)
+    gt = gate(net, ["00"], [lt, eq], "gt")
+    net.set_outputs([lt, eq, gt])
+    return net
+
+
+def gray_encoder(width: int) -> Network:
+    """Binary to Gray code: g_i = b_i ^ b_{i+1} (MSB passes through)."""
+    net = Network(f"gray{width}")
+    b = [net.add_input(f"b{i}") for i in range(width)]
+    outs = []
+    for i in range(width - 1):
+        outs.append(xor2(net, b[i], b[i + 1]))
+    outs.append(gate(net, ["1"], [b[width - 1]], "buf"))
+    net.set_outputs(outs)
+    return net
+
+
+def priority_encoder(width: int) -> Network:
+    """One-hot-izes the highest set input: out_i = in_i & ~(any higher)."""
+    net = Network(f"prio{width}")
+    ins = [net.add_input(f"r{i}") for i in range(width)]
+    outs = []
+    for i in range(width):
+        higher = ins[i + 1 :]
+        if higher:
+            none_higher = not1(net, or_tree(net, higher))
+            outs.append(and2(net, ins[i], none_higher))
+        else:
+            outs.append(gate(net, ["1"], [ins[i]], "buf"))
+    valid = or_tree(net, ins)
+    net.set_outputs(outs + [valid])
+    return net
+
+
+def barrel_shifter(width: int) -> Network:
+    """Logical left shift of a ``width``-bit value by a log2(width)-bit amount."""
+    sel_bits = max(1, (width - 1).bit_length())
+    net = Network(f"shl{width}")
+    data = [net.add_input(f"d{i}") for i in range(width)]
+    sel = [net.add_input(f"s{i}") for i in range(sel_bits)]
+    zero = net.add_constant("zero", False)
+    current = list(data)
+    for stage in range(sel_bits):
+        shift = 1 << stage
+        nxt = []
+        for i in range(width):
+            src = current[i - shift] if i - shift >= 0 else zero
+            nxt.append(mux2(net, sel[stage], current[i], src))
+        current = nxt
+    net.set_outputs(current)
+    return net

@@ -1,0 +1,197 @@
+"""The benchmark registry: paper circuit names -> generators + Table 2 data.
+
+Every circuit of Table 2 is present.  ``collapsible`` mirrors the paper's
+starring: starred circuits (des, rot, C499, C880, C5315) could not be
+collapsed and only appear in the pre-structured ("r+") experiment.  The
+``paper`` record holds the reference CLB counts so the benchmark harness can
+print paper-vs-measured rows; generators marked ``exact=False`` are
+structured synthetic equivalents (DESIGN.md section 4), so only the *shape*
+of the comparison is expected to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchcircuits import alu, arith, control, symmetric, synthetic
+from repro.network.network import Network
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Reference values from Table 2 (None = not reported)."""
+
+    m: int | None = None
+    p: int | None = None
+    imodec_clb: int | None = None
+    single_clb: int | None = None
+    r_imodec_clb: int | None = None
+    r_fgmap_clb: int | None = None
+
+
+@dataclass(frozen=True)
+class BenchmarkCircuit:
+    """A registered benchmark."""
+
+    name: str
+    generator: Callable[[], Network]
+    num_inputs: int
+    num_outputs: int
+    exact: bool  # True = mathematically the paper's function
+    collapsible: bool  # False = starred in Table 2
+    paper: PaperRow
+
+    def build(self) -> Network:
+        net = self.generator()
+        if len(net.inputs) != self.num_inputs or len(net.outputs) != self.num_outputs:
+            raise AssertionError(
+                f"{self.name}: generator produced {len(net.inputs)}/{len(net.outputs)} "
+                f"instead of {self.num_inputs}/{self.num_outputs}"
+            )
+        return net
+
+
+_REGISTRY: dict[str, BenchmarkCircuit] = {}
+
+
+def _register(circuit: BenchmarkCircuit) -> None:
+    _REGISTRY[circuit.name] = circuit
+
+
+_register(BenchmarkCircuit(
+    "5xp1", arith.fivexp1_syn, 7, 10, exact=False, collapsible=True,
+    paper=PaperRow(m=5, p=5, imodec_clb=9, single_clb=15, r_imodec_clb=9, r_fgmap_clb=15),
+))
+_register(BenchmarkCircuit(
+    "9sym", symmetric.sym9, 9, 1, exact=True, collapsible=True,
+    paper=PaperRow(m=1, p=6, imodec_clb=7, single_clb=7, r_imodec_clb=7, r_fgmap_clb=7),
+))
+_register(BenchmarkCircuit(
+    "alu2", alu.alu2_syn, 10, 6, exact=False, collapsible=True,
+    paper=PaperRow(m=4, p=40, imodec_clb=46, single_clb=47, r_imodec_clb=46, r_fgmap_clb=53),
+))
+_register(BenchmarkCircuit(
+    "alu4", alu.alu4_syn, 14, 8, exact=False, collapsible=True,
+    paper=PaperRow(m=6, p=49, imodec_clb=168, single_clb=235),
+))
+_register(BenchmarkCircuit(
+    "apex6", lambda: synthetic.layered_circuit("apex6_syn", 135, 99, seed=6, depth=3,
+                                               locality=3, xor_prob=0.05),
+    135, 99, exact=False, collapsible=True,
+    paper=PaperRow(m=17, p=30, imodec_clb=141, single_clb=174, r_imodec_clb=129),
+))
+_register(BenchmarkCircuit(
+    "apex7", lambda: synthetic.layered_circuit("apex7_syn", 49, 37, seed=7, depth=4),
+    49, 37, exact=False, collapsible=True,
+    paper=PaperRow(m=10, p=15, imodec_clb=44, single_clb=61, r_imodec_clb=41, r_fgmap_clb=47),
+))
+_register(BenchmarkCircuit(
+    "clip", arith.clip_syn, 9, 5, exact=False, collapsible=True,
+    paper=PaperRow(m=5, p=14, imodec_clb=12, single_clb=19, r_imodec_clb=12, r_fgmap_clb=20),
+))
+_register(BenchmarkCircuit(
+    "count", control.count_syn, 35, 16, exact=False, collapsible=True,
+    paper=PaperRow(m=8, p=3, imodec_clb=26, single_clb=35, r_imodec_clb=26, r_fgmap_clb=24),
+))
+_register(BenchmarkCircuit(
+    "des", lambda: synthetic.layered_circuit("des_syn", 256, 245, seed=99, depth=4),
+    256, 245, exact=False, collapsible=False,
+    paper=PaperRow(r_imodec_clb=489),
+))
+_register(BenchmarkCircuit(
+    "duke2", lambda: synthetic.structured_pla("duke2_syn", 22, 29, seed=22, pool_size=60,
+                                              cubes_per_output=(3, 9)),
+    22, 29, exact=False, collapsible=True,
+    paper=PaperRow(m=5, p=54, imodec_clb=177, single_clb=311, r_imodec_clb=122),
+))
+_register(BenchmarkCircuit(
+    "e64", control.e64_syn, 65, 65, exact=False, collapsible=True,
+    paper=PaperRow(m=12, p=3, imodec_clb=123, single_clb=329, r_imodec_clb=55, r_fgmap_clb=55),
+))
+_register(BenchmarkCircuit(
+    "f51m", arith.f51m_syn, 8, 8, exact=False, collapsible=True,
+    paper=PaperRow(m=3, p=5, imodec_clb=8, single_clb=13, r_imodec_clb=8, r_fgmap_clb=11),
+))
+_register(BenchmarkCircuit(
+    "misex1", lambda: synthetic.structured_pla("misex1_syn", 8, 7, seed=81, pool_size=14,
+                                               cubes_per_output=(2, 5), window=8),
+    8, 7, exact=False, collapsible=True,
+    paper=PaperRow(m=3, p=8, imodec_clb=9, single_clb=11, r_imodec_clb=9, r_fgmap_clb=8),
+))
+_register(BenchmarkCircuit(
+    "misex2", lambda: synthetic.structured_pla("misex2_syn", 25, 18, seed=82, pool_size=36,
+                                               cubes_per_output=(2, 5), window=9),
+    25, 18, exact=False, collapsible=True,
+    paper=PaperRow(m=5, p=7, imodec_clb=28, single_clb=34, r_imodec_clb=21, r_fgmap_clb=21),
+))
+_register(BenchmarkCircuit(
+    "rd53", arith.rd53, 5, 3, exact=True, collapsible=True,
+    paper=PaperRow(),  # Fig. 1 circuit, not a Table 2 row
+))
+_register(BenchmarkCircuit(
+    "rd73", arith.rd73, 7, 3, exact=True, collapsible=True,
+    paper=PaperRow(m=3, p=6, imodec_clb=5, single_clb=7, r_imodec_clb=5, r_fgmap_clb=7),
+))
+_register(BenchmarkCircuit(
+    "rd84", arith.rd84, 8, 4, exact=True, collapsible=True,
+    paper=PaperRow(m=4, p=6, imodec_clb=8, single_clb=11, r_imodec_clb=8, r_fgmap_clb=12),
+))
+_register(BenchmarkCircuit(
+    "rot", lambda: synthetic.layered_circuit("rot_syn", 135, 107, seed=13, depth=4),
+    135, 107, exact=False, collapsible=False,
+    paper=PaperRow(r_imodec_clb=127, r_fgmap_clb=194),
+))
+_register(BenchmarkCircuit(
+    "sao2", lambda: synthetic.structured_pla("sao2_syn", 10, 4, seed=10, pool_size=6,
+                                             cubes_per_output=(4, 8), window=10),
+    10, 4, exact=False, collapsible=True,
+    paper=PaperRow(m=4, p=11, imodec_clb=17, single_clb=24, r_imodec_clb=17, r_fgmap_clb=27),
+))
+_register(BenchmarkCircuit(
+    "term1", lambda: synthetic.structured_pla("term1_syn", 34, 10, seed=34, pool_size=40,
+                                              cubes_per_output=(4, 10), window=12),
+    34, 10, exact=False, collapsible=True,
+    paper=PaperRow(),  # Table 1 circuit
+))
+_register(BenchmarkCircuit(
+    "vg2", lambda: synthetic.structured_pla("vg2_syn", 25, 8, seed=25, pool_size=10,
+                                            cubes_per_output=(4, 8), window=10),
+    25, 8, exact=False, collapsible=True,
+    paper=PaperRow(m=5, p=12, imodec_clb=41, single_clb=64, r_imodec_clb=19, r_fgmap_clb=23),
+))
+_register(BenchmarkCircuit(
+    "z4ml", arith.z4ml_syn, 7, 4, exact=False, collapsible=True,
+    paper=PaperRow(m=2, p=3, imodec_clb=4, single_clb=4, r_imodec_clb=4, r_fgmap_clb=5),
+))
+_register(BenchmarkCircuit(
+    "C499", synthetic.c499_syn, 41, 32, exact=False, collapsible=False,
+    paper=PaperRow(r_imodec_clb=50, r_fgmap_clb=49),
+))
+_register(BenchmarkCircuit(
+    "C880", alu.c880_syn, 60, 26, exact=False, collapsible=False,
+    paper=PaperRow(r_imodec_clb=81, r_fgmap_clb=74),
+))
+_register(BenchmarkCircuit(
+    "C5315", lambda: synthetic.layered_circuit("C5315_syn", 178, 123, seed=53, depth=4),
+    178, 123, exact=False, collapsible=False,
+    paper=PaperRow(r_imodec_clb=295),
+))
+
+
+def get_circuit(name: str) -> BenchmarkCircuit:
+    """Look up a registered circuit by its paper name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def list_circuits(collapsible: bool | None = None) -> list[BenchmarkCircuit]:
+    """All registered circuits, optionally filtered by collapsibility."""
+    out = [c for c in _REGISTRY.values()]
+    if collapsible is not None:
+        out = [c for c in out if c.collapsible == collapsible]
+    return sorted(out, key=lambda c: c.name)

@@ -1,0 +1,30 @@
+"""Totally symmetric benchmark circuits.
+
+``9sym`` is exact: its single output is 1 iff the number of true inputs lies
+in [3, 6].  Symmetric functions decompose optimally as trees, so they are
+the paper's example of circuits where multiple-output decomposition brings
+no advantage (Table 2: 9sym gets 7 CLBs in every column).
+"""
+
+from __future__ import annotations
+
+from repro.benchcircuits.arith import _from_tables
+from repro.boolfunc.truthtable import TruthTable
+from repro.network.network import Network
+
+
+def sym_band(n: int, low: int, high: int, name: str | None = None) -> Network:
+    """1 iff the input popcount lies in [low, high]."""
+    table = TruthTable.from_function(n, lambda *xs: low <= sum(xs) <= high)
+    return _from_tables(name or f"sym{n}_{low}_{high}", n, [table], minimize=n <= 10)
+
+
+def sym9() -> Network:
+    """9sym: 9 inputs, 1 output, popcount in [3, 6] (exact)."""
+    return sym_band(9, 3, 6, name="9sym")
+
+
+def parity(n: int) -> Network:
+    """n-input odd-parity function."""
+    table = TruthTable.from_function(n, lambda *xs: sum(xs) % 2 == 1)
+    return _from_tables(f"parity{n}", n, [table], minimize=False)

@@ -1,0 +1,162 @@
+"""Seeded structured synthetic circuits.
+
+Two generator families stand in for benchmarks whose exact function is not
+publicly defined by a formula:
+
+- :func:`structured_pla` -- a flat multi-output PLA whose outputs draw cubes
+  from a *shared product-term pool* over input windows.  Sharing cubes across
+  outputs is exactly the structure multiple-output decomposition exploits,
+  and is how the real MCNC control PLAs (duke2, vg2, term1, sao2, misex*)
+  behave.
+- :func:`layered_circuit` -- a random multi-level gate network for the large
+  starred circuits (apex6, rot, des, C5315): alternating layers of small
+  gates with locally-biased wiring, so that transitive supports stay wide
+  but node functions stay small, matching pre-structured netlists.
+
+Both are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+def structured_pla(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    seed: int,
+    pool_size: int | None = None,
+    cubes_per_output: tuple[int, int] = (3, 8),
+    window: int = 10,
+    care_range: tuple[int, int] = (2, 5),
+) -> Network:
+    """Flat PLA with a shared cube pool over sliding input windows."""
+    rng = random.Random(seed)
+    pool_size = pool_size or max(8, num_outputs * 2)
+    pool: list[Cube] = []
+    for t in range(pool_size):
+        start = rng.randrange(max(1, num_inputs - window + 1))
+        num_care = rng.randint(*care_range)
+        positions = rng.sample(range(start, min(start + window, num_inputs)), min(num_care, window))
+        literals = {j: rng.random() < 0.5 for j in positions}
+        pool.append(Cube.from_literals(num_inputs, literals))
+
+    net = Network(name)
+    inputs = [net.add_input(f"x{i}") for i in range(num_inputs)]
+    for k in range(num_outputs):
+        count = rng.randint(*cubes_per_output)
+        cubes = rng.sample(pool, min(count, len(pool)))
+        net.add_node(f"f{k}", inputs, Sop(num_inputs, cubes).dedup())
+    net.set_outputs([f"f{k}" for k in range(num_outputs)])
+    return net
+
+
+# Gate mixes are AND/OR/MUX-dominated: control-style benchmarks (apex, rot,
+# des) are largely unate with small column multiplicities, which is what lets
+# functional decomposition work on them.  XOR appears but rarely.
+_GATE_ROWS = [
+    ["11"],          # and
+    ["1-", "-1"],    # or
+    ["0-", "-0"],    # nand
+    ["10"],          # and-not
+]
+
+_GATE_ROWS3 = [
+    ["111"],                      # and3
+    ["1--", "-1-", "--1"],        # or3
+    ["11-", "1-1", "-11"],        # maj3
+    ["01-", "1-1"],               # mux: s ? c : b
+    ["11-", "--1"],               # ab + c
+]
+
+_GATE_ROWS_XOR = ["10", "01"]
+
+
+def layered_circuit(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    seed: int,
+    depth: int = 4,
+    width: int | None = None,
+    locality: int = 3,
+    xor_prob: float = 0.1,
+) -> Network:
+    """Random multi-level gate network with locally-biased wiring."""
+    rng = random.Random(seed)
+    width = width or max(num_inputs, num_outputs)
+    net = Network(name)
+    layer = [net.add_input(f"x{i}") for i in range(num_inputs)]
+    for _ in range(depth):
+        new_layer = []
+        for pos in range(width):
+            anchor = int(pos * len(layer) / width)
+            lo = max(0, anchor - locality)
+            hi = min(len(layer), anchor + locality + 1)
+            window = layer[lo:hi]
+            if rng.random() < xor_prob and len(window) >= 2:
+                fanins = rng.sample(window, 2)
+                rows = _GATE_ROWS_XOR
+            elif rng.random() < 0.5 and len(window) >= 3:
+                fanins = rng.sample(window, 3)
+                rows = rng.choice(_GATE_ROWS3)
+            else:
+                fanins = rng.sample(window, min(2, len(window)))
+                rows = rng.choice(_GATE_ROWS) if len(fanins) == 2 else ["1"]
+            node = net.fresh_name("n")
+            net.add_node(node, fanins, Sop.from_strings(len(fanins), rows))
+            new_layer.append(node)
+        layer = new_layer
+    step = max(1, len(layer) // num_outputs)
+    outputs = [layer[(i * step) % len(layer)] for i in range(num_outputs)]
+    # ensure output signals are distinct nodes
+    seen = set()
+    final = []
+    for i, sig in enumerate(outputs):
+        if sig in seen:
+            alias = net.fresh_name("o")
+            net.add_node(alias, [sig], Sop.from_strings(1, ["1"]))
+            sig = alias
+        seen.add(sig)
+        final.append(sig)
+    net.set_outputs(final)
+    return net
+
+
+def c499_syn() -> Network:
+    """C499 equivalent: 41 in / 32 out single-error-correction decoder.
+
+    32 data bits, 8 check bits, 1 enable: each output is the data bit XORed
+    with a correction term derived from the syndrome -- the XOR-dominated
+    structure of the real C499.
+    """
+    from repro.benchcircuits.builders import and2, gate, xor2, xor_tree
+
+    net = Network("C499_syn")
+    data = [net.add_input(f"d{i}") for i in range(32)]
+    check = [net.add_input(f"c{i}") for i in range(8)]
+    enable = net.add_input("en")
+
+    # syndrome bit j = parity of the data bits whose index has bit j set,
+    # xored with the check bit
+    syndrome = []
+    for j in range(5):
+        members = [data[i] for i in range(32) if (i >> j) & 1]
+        syndrome.append(xor2(net, xor_tree(net, members), check[j]))
+    for j in range(5, 8):
+        members = [data[i] for i in range(32) if (i % (j + 2)) == 0]
+        syndrome.append(xor2(net, xor_tree(net, members), check[j]))
+
+    outputs = []
+    for i in range(32):
+        rows = ["".join("1" if (i >> j) & 1 else "0" for j in range(5))]
+        hit = gate(net, rows, syndrome[:5], "hit")
+        corr = and2(net, hit, enable)
+        outputs.append(xor2(net, data[i], corr))
+    net.set_outputs(outputs)
+    return net

@@ -1,0 +1,15 @@
+"""Explicit Boolean function representations.
+
+- :class:`~repro.boolfunc.truthtable.TruthTable` -- bit-packed truth tables
+  (one Python int), the oracle representation used throughout the test suite
+  and for small bound-set computations.
+- :class:`~repro.boolfunc.cube.Cube` / :class:`~repro.boolfunc.sop.Sop` --
+  cube-based two-level covers, the representation parsed from PLA files and
+  consumed by the two-level minimizer and algebraic optimizer.
+"""
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+
+__all__ = ["Cube", "Sop", "TruthTable"]

@@ -1,0 +1,178 @@
+"""Cubes (products of literals) in positional notation.
+
+A cube over ``n`` variables assigns each variable one of ``0``, ``1`` or
+``-`` (don't appear).  It is stored as two bit masks: ``care`` marks the
+variables that appear, ``value`` gives their polarity (only meaningful at
+care positions).  The textual form matches PLA files: e.g. ``1-0`` is
+``x0 & ~x2`` over three variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Cube:
+    """A product term over ``num_vars`` variables."""
+
+    __slots__ = ("num_vars", "care", "value")
+
+    def __init__(self, num_vars: int, care: int, value: int) -> None:
+        self.num_vars = num_vars
+        mask = (1 << num_vars) - 1
+        self.care = care & mask
+        self.value = value & self.care
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def tautology(cls, num_vars: int) -> "Cube":
+        """The cube with no literals (constant 1)."""
+        return cls(num_vars, 0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse PLA notation, e.g. ``"1-0"`` (variable 0 first)."""
+        care = value = 0
+        for j, ch in enumerate(text):
+            if ch == "1":
+                care |= 1 << j
+                value |= 1 << j
+            elif ch == "0":
+                care |= 1 << j
+            elif ch not in "-2":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(len(text), care, value)
+
+    @classmethod
+    def from_minterm(cls, num_vars: int, row: int) -> "Cube":
+        """The full-care cube of a single minterm."""
+        return cls(num_vars, (1 << num_vars) - 1, row)
+
+    @classmethod
+    def from_literals(cls, num_vars: int, literals: dict[int, bool]) -> "Cube":
+        """Build from a variable-index -> polarity mapping."""
+        care = value = 0
+        for j, pol in literals.items():
+            if not 0 <= j < num_vars:
+                raise ValueError(f"variable index {j} out of range")
+            care |= 1 << j
+            if pol:
+                value |= 1 << j
+        return cls(num_vars, care, value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (
+            self.num_vars == other.num_vars
+            and self.care == other.care
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.care, self.value))
+
+    def literals(self) -> dict[int, bool]:
+        """Variable-index -> polarity mapping of the literals."""
+        return {
+            j: bool((self.value >> j) & 1)
+            for j in range(self.num_vars)
+            if (self.care >> j) & 1
+        }
+
+    def num_literals(self) -> int:
+        """Number of literals in the product."""
+        return self.care.bit_count()
+
+    def contains_minterm(self, row: int) -> bool:
+        """True iff the minterm ``row`` is covered by this cube."""
+        return (row & self.care) == self.value
+
+    def covers(self, other: "Cube") -> bool:
+        """True iff every minterm of ``other`` is a minterm of ``self``."""
+        if self.care & ~other.care:
+            return False  # self constrains a variable other leaves free
+        return (other.value & self.care) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the two cubes share at least one minterm."""
+        common = self.care & other.care
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The product cube, or None if the cubes are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(self.num_vars, self.care | other.care, self.value | other.value)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both cubes."""
+        common = self.care & other.care
+        agree = common & ~(self.value ^ other.value)
+        return Cube(self.num_vars, agree, self.value & agree)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables where the cubes have opposite literals."""
+        common = self.care & other.care
+        return ((self.value ^ other.value) & common).bit_count()
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate the covered minterms."""
+        free = [j for j in range(self.num_vars) if not (self.care >> j) & 1]
+        for combo in range(1 << len(free)):
+            row = self.value
+            for i, j in enumerate(free):
+                if (combo >> i) & 1:
+                    row |= 1 << j
+            yield row
+
+    def size(self) -> int:
+        """Number of covered minterms."""
+        return 1 << (self.num_vars - self.num_literals())
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def without(self, index: int) -> "Cube":
+        """Drop the literal of variable ``index`` (expand)."""
+        bit = 1 << index
+        return Cube(self.num_vars, self.care & ~bit, self.value & ~bit)
+
+    def with_literal(self, index: int, polarity: bool) -> "Cube":
+        """Add/overwrite the literal of variable ``index``."""
+        bit = 1 << index
+        value = (self.value & ~bit) | (bit if polarity else 0)
+        return Cube(self.num_vars, self.care | bit, value)
+
+    def cofactor(self, other: "Cube") -> "Cube | None":
+        """The cofactor of this cube w.r.t. ``other`` (Shannon on a cube).
+
+        Returns None when the cubes do not intersect; otherwise this cube
+        with all literals of ``other`` removed.
+        """
+        if not self.intersects(other):
+            return None
+        keep = self.care & ~other.care
+        return Cube(self.num_vars, keep, self.value & keep)
+
+    def __str__(self) -> str:
+        chars = []
+        for j in range(self.num_vars):
+            if not (self.care >> j) & 1:
+                chars.append("-")
+            elif (self.value >> j) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cube({str(self)!r})"

@@ -1,0 +1,55 @@
+"""Symmetry detection on Boolean functions.
+
+Totally symmetric functions (like the paper's 9sym and rdXX benchmarks)
+decompose as trees and are the cases where multiple-output decomposition
+yields no advantage (Section 7 of the paper: "circuits, as e.g. 9sym, which
+are optimally decomposed as trees").  The variable-partitioning heuristic
+uses pairwise symmetry as a tie-breaker: symmetric variables belong in the
+same bound set because they keep the column multiplicity low.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.boolfunc.truthtable import TruthTable
+
+
+def are_symmetric(table: TruthTable, i: int, j: int) -> bool:
+    """True iff swapping variables ``i`` and ``j`` leaves the function unchanged."""
+    if i == j:
+        return True
+    perm = list(range(table.num_vars))
+    perm[i], perm[j] = perm[j], perm[i]
+    return table.permute(perm) == table
+
+
+def symmetry_classes(table: TruthTable) -> list[set[int]]:
+    """Partition the variables into maximal pairwise-symmetric groups.
+
+    Pairwise symmetry is an equivalence relation on variables of a fixed
+    function, so the union-find closure below is exact.
+    """
+    n = table.num_vars
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i, j in combinations(range(n), 2):
+        if find(i) != find(j) and are_symmetric(table, i, j):
+            parent[find(j)] = find(i)
+
+    groups: dict[int, set[int]] = {}
+    for v in range(n):
+        groups.setdefault(find(v), set()).add(v)
+    return sorted(groups.values(), key=lambda g: min(g))
+
+
+def is_totally_symmetric(table: TruthTable) -> bool:
+    """True iff the function is invariant under all input permutations."""
+    classes = symmetry_classes(table)
+    return len(classes) == 1 and len(classes[0]) == table.num_vars

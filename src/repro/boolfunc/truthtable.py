@@ -1,0 +1,275 @@
+"""Bit-packed truth tables.
+
+A :class:`TruthTable` stores a completely specified Boolean function of ``n``
+variables as a single Python integer with ``2**n`` bits.  Row ``i`` (bit ``i``
+of the integer) holds the function value for the input assignment in which
+variable ``j`` takes bit ``j`` of ``i`` -- i.e. variable 0 is the
+fastest-toggling column of the table.  This matches the LSB-first convention
+of :meth:`repro.bdd.manager.BDD.from_truth_bits`.
+
+Truth tables are the oracle representation: every BDD and decomposition
+algorithm in the repository is cross-checked against them in the test suite.
+They are practical up to roughly 20 variables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+class TruthTable:
+    """A completely specified Boolean function of ``num_vars`` variables."""
+
+    __slots__ = ("num_vars", "bits")
+
+    def __init__(self, num_vars: int, bits: int) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.bits = bits & self.full_mask(num_vars)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def full_mask(num_vars: int) -> int:
+        """All-ones mask over the ``2**num_vars`` rows."""
+        return (1 << (1 << num_vars)) - 1
+
+    @classmethod
+    def constant(cls, num_vars: int, value: bool) -> "TruthTable":
+        """The constant function."""
+        return cls(num_vars, cls.full_mask(num_vars) if value else 0)
+
+    @classmethod
+    def variable(cls, num_vars: int, index: int) -> "TruthTable":
+        """The projection function of variable ``index``."""
+        if not 0 <= index < num_vars:
+            raise ValueError(f"variable index {index} out of range")
+        bits = 0
+        for row in range(1 << num_vars):
+            if (row >> index) & 1:
+                bits |= 1 << row
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_function(cls, num_vars: int, fn: Callable[..., bool | int]) -> "TruthTable":
+        """Tabulate ``fn(x0, x1, ..)`` over all assignments."""
+        bits = 0
+        for row in range(1 << num_vars):
+            args = [(row >> j) & 1 for j in range(num_vars)]
+            if fn(*args):
+                bits |= 1 << row
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_rows(cls, values: Sequence[bool | int]) -> "TruthTable":
+        """Build from an explicit row-value sequence of length ``2**n``."""
+        length = len(values)
+        num_vars = length.bit_length() - 1
+        if 1 << num_vars != length:
+            raise ValueError("length must be a power of two")
+        bits = 0
+        for row, val in enumerate(values):
+            if val:
+                bits |= 1 << row
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_minterms(cls, num_vars: int, minterms: Iterable[int]) -> "TruthTable":
+        """Build from the set of true row indices."""
+        bits = 0
+        for m in minterms:
+            if not 0 <= m < (1 << num_vars):
+                raise ValueError(f"minterm {m} out of range")
+            bits |= 1 << m
+        return cls(num_vars, bits)
+
+    @classmethod
+    def random(cls, num_vars: int, rng: random.Random) -> "TruthTable":
+        """Uniformly random function (for tests and benchmarks)."""
+        return cls(num_vars, rng.getrandbits(1 << num_vars))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, row: int) -> bool:
+        if not 0 <= row < (1 << self.num_vars):
+            raise IndexError(f"row {row} out of range")
+        return bool((self.bits >> row) & 1)
+
+    def __call__(self, *args: bool | int) -> bool:
+        if len(args) != self.num_vars:
+            raise ValueError(f"expected {self.num_vars} arguments")
+        row = sum(1 << j for j, a in enumerate(args) if a)
+        return self[row]
+
+    def __len__(self) -> int:
+        return 1 << self.num_vars
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.num_vars == other.num_vars and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.bits))
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff the function is constant 0 or constant 1."""
+        return self.bits in (0, self.full_mask(self.num_vars))
+
+    def onset_size(self) -> int:
+        """Number of true rows."""
+        return self.bits.bit_count()
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate over the true row indices."""
+        bits = self.bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def depends_on(self, index: int) -> bool:
+        """True iff the function essentially depends on variable ``index``."""
+        neg, pos = self.cofactors(index)
+        return neg.bits != pos.bits
+
+    def support(self) -> set[int]:
+        """Indices of essential variables."""
+        return {j for j in range(self.num_vars) if self.depends_on(j)}
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+
+    def _check_arity(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError("arity mismatch")
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_vars, self.bits ^ other.bits)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_vars, ~self.bits)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+
+    def cofactor(self, index: int, value: bool) -> "TruthTable":
+        """Shannon cofactor: a function of ``num_vars - 1`` variables.
+
+        The remaining variables keep their relative order (variable ``j`` of
+        the result is variable ``j`` of ``self`` for ``j < index`` and
+        variable ``j + 1`` otherwise).
+        """
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable index {index} out of range")
+        n = self.num_vars
+        bits = 0
+        low_mask = (1 << index) - 1
+        want = 1 if value else 0
+        for row in range(1 << n):
+            if (row >> index) & 1 != want:
+                continue
+            sub = ((row >> (index + 1)) << index) | (row & low_mask)
+            if (self.bits >> row) & 1:
+                bits |= 1 << sub
+        return TruthTable(n - 1, bits)
+
+    def cofactors(self, index: int) -> tuple["TruthTable", "TruthTable"]:
+        """(negative, positive) cofactors w.r.t. variable ``index``."""
+        return self.cofactor(index, False), self.cofactor(index, True)
+
+    def restrict(self, assignment: dict[int, bool]) -> "TruthTable":
+        """Fix several variables at once (indices refer to ``self``)."""
+        table = self
+        for index in sorted(assignment, reverse=True):
+            table = table.cofactor(index, assignment[index])
+        return table
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Reorder inputs: result variable ``j`` is self variable ``perm[j]``."""
+        n = self.num_vars
+        if sorted(perm) != list(range(n)):
+            raise ValueError("perm must be a permutation of the variable indices")
+        bits = 0
+        for row in range(1 << n):
+            src_row = 0
+            for j in range(n):
+                if (row >> j) & 1:
+                    src_row |= 1 << perm[j]
+            if (self.bits >> src_row) & 1:
+                bits |= 1 << row
+        return TruthTable(n, bits)
+
+    def extend(self, num_vars: int) -> "TruthTable":
+        """View this function over a larger variable set (new vars are don't-connect)."""
+        if num_vars < self.num_vars:
+            raise ValueError("cannot shrink; use restrict/cofactor")
+        bits = 0
+        mask = (1 << self.num_vars) - 1
+        for row in range(1 << num_vars):
+            if (self.bits >> (row & mask)) & 1:
+                bits |= 1 << row
+        return TruthTable(num_vars, bits)
+
+    def compose(self, inner: Sequence["TruthTable"]) -> "TruthTable":
+        """Functional composition: ``self(inner[0](y), ..., inner[n-1](y))``.
+
+        All inner functions must share the same arity; the result is a
+        function of that arity.
+        """
+        if len(inner) != self.num_vars:
+            raise ValueError(f"expected {self.num_vars} inner functions")
+        if inner:
+            arity = inner[0].num_vars
+            if any(g.num_vars != arity for g in inner):
+                raise ValueError("inner functions must share arity")
+        else:
+            arity = 0
+        bits = 0
+        for row in range(1 << arity):
+            outer_row = 0
+            for j, g in enumerate(inner):
+                if (g.bits >> row) & 1:
+                    outer_row |= 1 << j
+            if (self.bits >> outer_row) & 1:
+                bits |= 1 << row
+        return TruthTable(arity, bits)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    def to_bdd(self, bdd, levels: Sequence[int]) -> int:
+        """Build this function in a BDD manager over the given levels."""
+        if len(levels) != self.num_vars:
+            raise ValueError("need one level per variable")
+        return bdd.from_truth_bits(self.bits, levels)
+
+    @classmethod
+    def from_bdd(cls, bdd, node: int, levels: Sequence[int]) -> "TruthTable":
+        """Tabulate a BDD node over the given levels."""
+        return cls(len(levels), bdd.to_truth_bits(node, levels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.num_vars <= 5:
+            rows = "".join("1" if self[i] else "0" for i in range(len(self)))
+            return f"TruthTable({self.num_vars}, 0b{rows[::-1]})"
+        return f"TruthTable(num_vars={self.num_vars}, onset={self.onset_size()})"

@@ -1,0 +1,128 @@
+"""Command-line synthesis driver.
+
+Usage::
+
+    python -m repro.cli synth design.pla --mode multi --k 5 -o mapped.blif
+    python -m repro.cli synth design.blif --rugged --structural --stats
+    python -m repro.cli info design.blif
+
+``synth`` reads a PLA or BLIF file, optionally pre-structures it with the
+rugged-style script, maps it to k-input LUTs with multiple-output (IMODEC)
+or single-output decomposition, verifies the result, reports XC3000 CLB
+counts and optionally writes the mapped netlist as BLIF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.algebraic.rugged import rugged
+from repro.io.blif import parse_blif, write_blif
+from repro.io.pla import parse_pla
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
+from repro.mapping.structural import synthesize_structural
+from repro.mapping.xc3000 import pack_xc3000
+from repro.network.network import Network
+from repro.network.stats import network_stats
+
+
+def load_network(path: Path) -> Network:
+    """Read a PLA or BLIF file, dispatching on suffix/content."""
+    text = path.read_text()
+    if path.suffix.lower() == ".pla" or text.lstrip().startswith(".i"):
+        return parse_pla(text, name=path.stem)
+    return parse_blif(text)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    net = load_network(Path(args.input))
+    print(f"{net.name}: {network_stats(net)}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    path = Path(args.input)
+    net = load_network(path)
+    reference = net.copy()
+    print(f"input:  {net.name}: {network_stats(net)}")
+
+    if args.rugged:
+        start = time.perf_counter()
+        rugged(net)
+        print(f"rugged: {network_stats(net)}  ({time.perf_counter() - start:.1f}s)")
+
+    config = FlowConfig(k=args.k, mode=args.mode, strict=args.strict)
+    start = time.perf_counter()
+    if args.structural:
+        result = synthesize_structural(net, config)
+        ok = verify_flow_sim(reference, result)
+    else:
+        result = synthesize(net, config)
+        ok = verify_flow(reference, result)
+    elapsed = time.perf_counter() - start
+
+    if not ok:
+        print("ERROR: mapped network is NOT equivalent to the input", file=sys.stderr)
+        return 1
+
+    packing = pack_xc3000(result.network, k=args.k) if args.k == 5 else None
+    print(f"mapped: {result.num_luts} LUT{'s' if result.num_luts != 1 else ''} "
+          f"(k = {args.k}, mode = {args.mode}, {elapsed:.1f}s, verified)")
+    if packing is not None:
+        print(f"packed: {packing.num_clbs} XC3000 CLBs "
+              f"({len(packing.pairs)} paired, {len(packing.singles)} single)")
+    if args.stats and result.records:
+        print(f"decomposition vectors: {len(result.records)}, "
+              f"max m = {result.max_group_outputs}, max p = {result.max_globals}")
+
+    if args.output:
+        Path(args.output).write_text(write_blif(result.network))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IMODEC multiple-output decomposition flow"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print circuit statistics")
+    info.add_argument("input", help="PLA or BLIF file")
+    info.set_defaults(func=cmd_info)
+
+    synth = sub.add_parser("synth", help="map a circuit to k-input LUTs")
+    synth.add_argument("input", help="PLA or BLIF file")
+    synth.add_argument("--mode", choices=["multi", "single"], default="multi",
+                       help="multi = IMODEC sharing, single = classical baseline")
+    synth.add_argument("--k", type=int, default=5, help="LUT input count (default 5)")
+    synth.add_argument("--strict", action="store_true",
+                       help="strict (one-code-per-class) decomposition baseline")
+    synth.add_argument("--rugged", action="store_true",
+                       help="pre-structure with the rugged-style script first")
+    synth.add_argument("--structural", action="store_true",
+                       help="partial-collapse flow (for circuits too large to collapse)")
+    synth.add_argument("--stats", action="store_true",
+                       help="print decomposition statistics (m, p)")
+    synth.add_argument("-o", "--output", help="write the mapped netlist as BLIF")
+    synth.set_defaults(func=cmd_synth)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Classical (single-output) functional decomposition.
+
+Implements the Ashenhurst/Roth--Karp theory summarized in Sections 2 and 3 of
+the paper:
+
+- :mod:`~repro.decompose.partitions` -- partitions of the bound-set vertices,
+  refinement and product (the algebra of Section 2).
+- :mod:`~repro.decompose.compat` -- the local compatibility partition
+  ``Pi_f = X / R_f`` (Definition 1), computed by grouping BDD cofactors.
+- :mod:`~repro.decompose.charts` -- decomposition charts (the Karnaugh-map
+  visualization of Fig. 2) and column multiplicity.
+- :mod:`~repro.decompose.single` -- single-output disjoint decomposition
+  ``f(x, y) = g(d_1(x), .., d_c(x), y)``, the paper's "Single" baseline.
+"""
+
+from repro.decompose.compat import cofactor_map, local_partition
+from repro.decompose.partitions import Partition
+from repro.decompose.single import SingleDecomposition, decompose_single
+
+__all__ = [
+    "Partition",
+    "SingleDecomposition",
+    "cofactor_map",
+    "decompose_single",
+    "local_partition",
+]

@@ -1,0 +1,66 @@
+"""Decomposition charts (Fig. 2 of the paper).
+
+A decomposition chart is the Karnaugh map whose columns are bound-set
+vertices and whose rows are free-set vertices; two columns are identical iff
+the corresponding vertices are compatible.  Charts are quadratic in the
+function size and exist purely for small examples, documentation and tests --
+the algorithms use :mod:`repro.decompose.compat` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+
+
+class DecompositionChart:
+    """Explicit chart of ``f`` for a bound-set / free-set split."""
+
+    def __init__(self, table: TruthTable, bs_indices: Sequence[int]) -> None:
+        n = table.num_vars
+        bs = list(bs_indices)
+        if len(set(bs)) != len(bs) or any(not 0 <= i < n for i in bs):
+            raise ValueError("bound set must be distinct variable indices")
+        fs = [i for i in range(n) if i not in bs]
+        self.table = table
+        self.bs_indices = bs
+        self.fs_indices = fs
+        b, r = len(bs), len(fs)
+        # columns[x][y] = f at bound vertex x, free vertex y
+        self.columns: list[tuple[bool, ...]] = []
+        for x in range(1 << b):
+            col = []
+            for y in range(1 << r):
+                row = 0
+                for j, idx in enumerate(bs):
+                    if (x >> j) & 1:
+                        row |= 1 << idx
+                for j, idx in enumerate(fs):
+                    if (y >> j) & 1:
+                        row |= 1 << idx
+                col.append(table[row])
+            self.columns.append(tuple(col))
+
+    def column_multiplicity(self) -> int:
+        """Number of distinct columns (``l``)."""
+        return len(set(self.columns))
+
+    def partition(self) -> Partition:
+        """The local compatibility partition read off the chart."""
+        return Partition.from_keys(self.columns)
+
+    def render(self) -> str:
+        """ASCII rendering with columns = BS-vertices, rows = FS-vertices."""
+        b, r = len(self.bs_indices), len(self.fs_indices)
+        header = " ".join(format(x, f"0{b}b")[::-1] for x in range(1 << b))
+        lines = [header]
+        for y in range(1 << r):
+            row = " ".join(
+                " " * (b - 1) + ("1" if self.columns[x][y] else "0")
+                for x in range(1 << b)
+            )
+            label = format(y, f"0{r}b")[::-1] if r else ""
+            lines.append(f"{row}   {label}")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Code assignment for decomposition functions.
+
+After the compatibility partition is known, every local class must receive a
+distinct ``c``-bit code; decomposition function ``d_i`` is then the Boolean
+function "bit ``i`` of the code of the class of ``x``" (strict decomposition,
+one code per class).  The paper's multiple-output algorithm replaces this
+step -- codes there emerge from the chosen preferable functions and may be
+non-strict -- but the single-output baseline and the trailing "fill up the
+remaining functions" steps use these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+
+
+def dense_codes(num_classes: int) -> list[int]:
+    """The identity encoding: class ``i`` gets code ``i``."""
+    return list(range(num_classes))
+
+
+def d_tables_from_codes(partition: Partition, codes: Sequence[int], codewidth: int) -> list[TruthTable]:
+    """Decomposition-function truth tables over the bound set.
+
+    ``partition`` partitions the ``2^b`` bound-set vertices; ``codes[i]`` is
+    the code of class ``i``.  Returns ``codewidth`` tables; table ``i`` is
+    bit ``i`` of the code.
+    """
+    if len(codes) < partition.num_blocks:
+        raise ValueError("need a code for every class")
+    if len(set(codes[: partition.num_blocks])) != partition.num_blocks:
+        raise ValueError("codes must be distinct")
+    size = partition.size
+    num_vars = (size - 1).bit_length()
+    if 1 << num_vars != size:
+        raise ValueError("partition size must be a power of two")
+    tables = []
+    for bit in range(codewidth):
+        bits = 0
+        for vertex in range(size):
+            if (codes[partition.block_of(vertex)] >> bit) & 1:
+                bits |= 1 << vertex
+        tables.append(TruthTable(num_vars, bits))
+    return tables
+
+
+def codes_from_d_tables(d_tables: Sequence[TruthTable]) -> list[int]:
+    """Code of every bound-set vertex under the given decomposition functions.
+
+    Entry ``x`` is the integer whose bit ``i`` is ``d_tables[i](x)`` -- the
+    vertex code ``d(x)`` of the paper.
+    """
+    if not d_tables:
+        return [0]
+    size = 1 << d_tables[0].num_vars
+    out = []
+    for vertex in range(size):
+        code = 0
+        for i, table in enumerate(d_tables):
+            if table[vertex]:
+                code |= 1 << i
+        out.append(code)
+    return out

@@ -1,0 +1,163 @@
+"""Partitions of the bound-set vertex set.
+
+Section 2 of the paper works with partitions of ``X = {0,1}^b`` induced by
+equivalence relations: the local compatibility partitions ``Pi_f``, the
+partitions ``Pi_d`` induced by individual decomposition functions, their
+products, and the refinement relation between them.  :class:`Partition`
+implements exactly this algebra.
+
+Vertices are represented as integers ``0 .. 2^b - 1`` (bit ``j`` of the
+vertex is the value of bound-set variable ``j``), and a partition is stored
+as a label array mapping each vertex to its block id.  Labels are normalized
+to first-occurrence order, which makes structural equality semantic equality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+
+class Partition:
+    """A partition of ``{0, .., n-1}`` into disjoint blocks."""
+
+    __slots__ = ("labels", "num_blocks")
+
+    def __init__(self, labels: Sequence[int]) -> None:
+        normalized, count = self._normalize(labels)
+        self.labels: tuple[int, ...] = normalized
+        self.num_blocks: int = count
+
+    @staticmethod
+    def _normalize(labels: Sequence[int]) -> tuple[tuple[int, ...], int]:
+        remap: dict[int, int] = {}
+        out = []
+        for lab in labels:
+            if lab not in remap:
+                remap[lab] = len(remap)
+            out.append(remap[lab])
+        return tuple(out), len(remap)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_keys(cls, keys: Sequence[Hashable]) -> "Partition":
+        """Group elements by an arbitrary hashable key (e.g. BDD cofactor id)."""
+        ids: dict[Hashable, int] = {}
+        labels = []
+        for key in keys:
+            if key not in ids:
+                ids[key] = len(ids)
+            labels.append(ids[key])
+        return cls(labels)
+
+    @classmethod
+    def from_blocks(cls, size: int, blocks: Iterable[Iterable[int]]) -> "Partition":
+        """Build from explicit blocks, which must cover ``0..size-1`` exactly once."""
+        labels = [-1] * size
+        for block_id, block in enumerate(blocks):
+            for element in block:
+                if not 0 <= element < size:
+                    raise ValueError(f"element {element} out of range")
+                if labels[element] != -1:
+                    raise ValueError(f"element {element} appears in two blocks")
+                labels[element] = block_id
+        if any(lab == -1 for lab in labels):
+            missing = [i for i, lab in enumerate(labels) if lab == -1]
+            raise ValueError(f"elements {missing} not covered by any block")
+        return cls(labels)
+
+    @classmethod
+    def unit(cls, size: int) -> "Partition":
+        """The one-block partition (everything equivalent)."""
+        return cls([0] * size)
+
+    @classmethod
+    def discrete(cls, size: int) -> "Partition":
+        """The partition into singletons."""
+        return cls(list(range(size)))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements of the underlying set."""
+        return len(self.labels)
+
+    def block_of(self, element: int) -> int:
+        """Block id of ``element``."""
+        return self.labels[element]
+
+    def blocks(self) -> list[list[int]]:
+        """Blocks as lists of elements, indexed by block id."""
+        out: list[list[int]] = [[] for _ in range(self.num_blocks)]
+        for element, lab in enumerate(self.labels):
+            out[lab].append(element)
+        return out
+
+    def block_sizes(self) -> list[int]:
+        """Size of each block, indexed by block id."""
+        sizes = [0] * self.num_blocks
+        for lab in self.labels:
+            sizes[lab] += 1
+        return sizes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Partition(blocks={self.blocks()})"
+
+    # ------------------------------------------------------------------
+    # the algebra of Section 2
+    # ------------------------------------------------------------------
+
+    def refines(self, other: "Partition") -> bool:
+        """True iff every block of ``self`` is contained in a block of ``other``.
+
+        Equivalently ``R_self`` is a subset of ``R_other``.
+        """
+        if self.size != other.size:
+            raise ValueError("partitions are over different sets")
+        image: dict[int, int] = {}
+        for mine, theirs in zip(self.labels, other.labels):
+            if mine in image:
+                if image[mine] != theirs:
+                    return False
+            else:
+                image[mine] = theirs
+        return True
+
+    def product(self, other: "Partition") -> "Partition":
+        """The coarsest common refinement ``Pi_self . Pi_other`` (Section 2)."""
+        if self.size != other.size:
+            raise ValueError("partitions are over different sets")
+        return Partition.from_keys(list(zip(self.labels, other.labels)))
+
+    def __mul__(self, other: "Partition") -> "Partition":
+        return self.product(other)
+
+    @staticmethod
+    def product_all(partitions: Iterable["Partition"]) -> "Partition":
+        """Product of several partitions; identity is the unit partition."""
+        result: Partition | None = None
+        for part in partitions:
+            result = part if result is None else result.product(part)
+        if result is None:
+            raise ValueError("product of an empty collection needs a known size")
+        return result
+
+    def restricted_blocks(self, subset: Iterable[int]) -> list[list[int]]:
+        """Blocks of the trace of this partition on ``subset`` (order-stable)."""
+        by_block: dict[int, list[int]] = {}
+        for element in subset:
+            by_block.setdefault(self.labels[element], []).append(element)
+        return list(by_block.values())

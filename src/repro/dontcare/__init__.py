@@ -1,0 +1,21 @@
+"""Network don't-care computation and don't-care-based simplification.
+
+SIS's ``script.rugged`` ends with ``full_simplify``, which minimizes every
+node cover against the don't-cares induced by the surrounding network.  This
+package provides the equivalent machinery, all BDD-based:
+
+- *satisfiability don't-cares* (SDCs): fanin value combinations that no
+  primary-input assignment can produce (computed by image projection);
+- *observability don't-cares* (ODCs): primary-input assignments under which
+  the node's value cannot affect any primary output (computed by replacing
+  the node with a free variable and differencing the outputs);
+- :func:`~repro.dontcare.simplify.full_simplify` -- per-node minimization of
+  the local cover against the combined local don't-care set, with exact
+  output preservation (nodes are processed one at a time, so each
+  substitution is individually safe).
+"""
+
+from repro.dontcare.compute import local_dont_cares, observability_care_set
+from repro.dontcare.simplify import full_simplify
+
+__all__ = ["full_simplify", "local_dont_cares", "observability_care_set"]

@@ -1,0 +1,69 @@
+"""Don't-care-based node simplification (the ``full_simplify`` pass).
+
+Processes the nodes one at a time: compute the local don't-care cover
+(:func:`repro.dontcare.compute.local_dont_cares`), minimize the node cover
+against it with :func:`repro.twolevel.incompletely.espresso_dc`, and keep
+the result when it is cheaper.  Because each substitution individually
+preserves all primary outputs (the don't-cares are exact for the current
+network), the pass is safe in any order; we go in topological order and
+recompute the don't-cares after every acceptance.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.dontcare.compute import local_dont_cares
+from repro.network.network import Network
+from repro.network.sweep import sweep
+from repro.twolevel.incompletely import espresso_dc
+
+
+def _drop_vacuous_fanins(network: Network, name: str, cover: Sop) -> tuple[list[str], Sop]:
+    node = network.nodes[name]
+    used = sorted({j for cube in cover.cubes for j in cube.literals()})
+    if len(used) == len(node.fanins):
+        return list(node.fanins), cover
+    remap = {j: i for i, j in enumerate(used)}
+    cubes = [
+        Cube.from_literals(len(used), {remap[j]: p for j, p in c.literals().items()})
+        for c in cover.cubes
+    ]
+    fanins = [node.fanins[j] for j in used]
+    return fanins, Sop(len(used), cubes)
+
+
+def full_simplify(
+    network: Network,
+    max_fanins: int = 10,
+    max_inputs: int = 24,
+    use_observability: bool = True,
+) -> int:
+    """Minimize every node against its network don't-cares.
+
+    Returns the number of literals saved.  Nodes with more than
+    ``max_fanins`` fanins are skipped (tabulation cost), as is the whole
+    pass when the network has more than ``max_inputs`` primary inputs (the
+    BDD image computations grow with the input count).
+    """
+    if len(network.inputs) > max_inputs:
+        return 0
+    saved = 0
+    for name in network.topological_order():
+        node = network.nodes.get(name)
+        if node is None or not node.fanins or len(node.fanins) > max_fanins:
+            continue
+        onset, dc = local_dont_cares(network, name, use_observability=use_observability)
+        if not dc.cubes:
+            continue
+        minimized = espresso_dc(onset, dc)
+        if minimized.num_literals() < node.cover.num_literals() or len(
+            minimized.cubes
+        ) < len(node.cover.cubes):
+            before = node.cover.num_literals()
+            fanins, cover = _drop_vacuous_fanins(network, name, minimized)
+            network.replace_cover(name, fanins, cover)
+            saved += before - cover.num_literals()
+    if saved:
+        sweep(network)
+    return saved

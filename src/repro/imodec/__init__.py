@@ -1,0 +1,31 @@
+"""IMODEC: implicit multiple-output functional decomposition.
+
+This is the paper's primary contribution (Sections 4--6):
+
+- :mod:`~repro.imodec.globalpart` -- the global compatibility partition
+  (Definition 2) and the local-class/global-class containment maps.
+- :mod:`~repro.imodec.zspace` -- positional-set representation of
+  constructable functions as vertices ``z in {0,1}^p`` (Definition 3 and the
+  bijection of Section 6).
+- :mod:`~repro.imodec.chi` -- implicit computation of the characteristic
+  function ``chi_k(z)`` of all preferable decomposition functions of output
+  ``k`` (the ``subset`` algorithm of Fig. 4 and the psi0/psi1 substitution).
+- :mod:`~repro.imodec.lmax` -- the implicit Lmax step: find a z-vertex in the
+  onset of a maximum number of characteristic functions.
+- :mod:`~repro.imodec.decomposer` -- the iterative driver that selects shared
+  preferable functions, updates partial assignments and builds the final
+  multiple-output decomposition.
+- :mod:`~repro.imodec.counting` -- the #assignable / #preferable counters
+  behind Table 1.
+"""
+
+from repro.imodec.decomposer import MultiOutputDecomposition, SharedFunction, decompose_multi
+from repro.imodec.globalpart import global_partition, local_classes_as_global_ids
+
+__all__ = [
+    "MultiOutputDecomposition",
+    "SharedFunction",
+    "decompose_multi",
+    "global_partition",
+    "local_classes_as_global_ids",
+]

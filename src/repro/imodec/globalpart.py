@@ -1,0 +1,76 @@
+"""The global compatibility partition (Section 4 of the paper).
+
+The global partition is the product of the local compatibility partitions of
+all outputs (Definition 2).  Its blocks -- the *global classes* -- are the
+elementary building blocks of all constructable decomposition functions
+(Definition 3, Theorem 1), and their number ``p`` bounds the total number of
+decomposition functions from below (Property 1: ``ceil(ld p) <= q``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+
+
+def global_partition(local_partitions: Sequence[Partition]) -> Partition:
+    """Product of the local compatibility partitions (Definition 2)."""
+    if not local_partitions:
+        raise ValueError("need at least one output")
+    return Partition.product_all(local_partitions)
+
+
+def local_classes_as_global_ids(global_part: Partition, local_part: Partition) -> list[list[int]]:
+    """Express each local class as the global classes it contains.
+
+    The global partition refines every local one, so each global class lies
+    in exactly one local class per output.  Entry ``i`` of the result is the
+    sorted list of global class ids making up local class ``i``.
+    """
+    if not global_part.refines(local_part):
+        raise ValueError("global partition must refine the local partition")
+    mapping: dict[int, set[int]] = {}
+    seen: set[int] = set()
+    for vertex in range(global_part.size):
+        g = global_part.block_of(vertex)
+        if g in seen:
+            continue
+        seen.add(g)
+        mapping.setdefault(local_part.block_of(vertex), set()).add(g)
+    return [sorted(mapping[i]) for i in range(local_part.num_blocks)]
+
+
+def lower_bound_q(num_global_classes: int) -> int:
+    """Property 1: any valid set of decomposition functions has ``q >= ceil(ld p)``."""
+    if num_global_classes < 1:
+        raise ValueError("a partition has at least one class")
+    return (num_global_classes - 1).bit_length()
+
+
+def is_constructable(table: TruthTable, global_part: Partition) -> bool:
+    """Definition 3: every global class lies entirely in the onset or offset."""
+    if len(table) != global_part.size:
+        raise ValueError("function arity does not match the vertex set")
+    value_of_class: dict[int, bool] = {}
+    for vertex in range(global_part.size):
+        g = global_part.block_of(vertex)
+        val = table[vertex]
+        if g in value_of_class:
+            if value_of_class[g] != val:
+                return False
+        else:
+            value_of_class[g] = val
+    return True
+
+
+def constructable_table(classes_on: frozenset[int], global_part: Partition) -> TruthTable:
+    """The constructable function whose onset is the union of ``classes_on``."""
+    size = global_part.size
+    num_vars = (size - 1).bit_length()
+    bits = 0
+    for vertex in range(size):
+        if global_part.block_of(vertex) in classes_on:
+            bits |= 1 << vertex
+    return TruthTable(num_vars, bits)

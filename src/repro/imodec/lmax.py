@@ -1,0 +1,110 @@
+"""The implicit Lmax step (Section 6, after Kam et al.).
+
+Given the characteristic functions ``chi_1(z) .. chi_m(z)`` of the still
+incomplete outputs, find a z-vertex contained in the onset of a maximum
+number of them -- i.e. a decomposition function preferable for a maximum
+number of outputs (the column of Fig. 5 with the most 1s).
+
+The computation is fully implicit: a layered DP over BDDs maintains, for
+every count ``c``, the characteristic function of the z-vertices lying in
+exactly ``c`` of the chi's processed so far.  After all m functions the
+highest non-empty layer is the answer.  m+1 layers and 2m BDD operations per
+chi -- no covering table is ever enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.imodec.zspace import ZSpace
+
+TieBreak = Literal["first", "balanced"]
+
+
+@dataclass
+class LmaxResult:
+    """Outcome of one Lmax invocation.
+
+    Attributes:
+        count: the maximum number of chi's sharing a vertex.
+        winners: BDD node (in the z-space) of all vertices achieving it.
+        vertex: one chosen winning vertex as a total level->bool assignment.
+    """
+
+    count: int
+    winners: int
+    vertex: dict[int, bool]
+
+
+def count_layers(zspace: ZSpace, chis: Sequence[int]) -> list[int]:
+    """Layer ``c`` = characteristic function of membership in exactly c chis."""
+    bdd = zspace.bdd
+    layers = [TRUE]
+    for chi in chis:
+        not_chi = bdd.apply_not(chi)
+        new_layers = [FALSE] * (len(layers) + 1)
+        for c, layer in enumerate(layers):
+            if layer == FALSE:
+                continue
+            new_layers[c] = bdd.apply_or(new_layers[c], bdd.apply_and(layer, not_chi))
+            new_layers[c + 1] = bdd.apply_or(new_layers[c + 1], bdd.apply_and(layer, chi))
+        layers = new_layers
+    return layers
+
+
+def pick_vertex(zspace: ZSpace, winners: int, tie_break: TieBreak = "first") -> dict[int, bool]:
+    """Choose one vertex from a non-empty winner set.
+
+    ``first`` extends ``sat_one`` with zeros (deterministic, cheap).
+    ``balanced`` walks the BDD preferring the branch that keeps the number of
+    onset classes close to half of ``p`` -- a mild heuristic that tends to
+    produce decomposition functions with balanced code usage.
+    """
+    bdd = zspace.bdd
+    if winners == FALSE:
+        raise ValueError("winner set is empty")
+    if tie_break == "first":
+        partial = bdd.sat_one(winners)
+        assert partial is not None
+        return {lvl: partial.get(lvl, False) for lvl in zspace.levels}
+    if tie_break != "balanced":
+        raise ValueError(f"unknown tie-break strategy {tie_break!r}")
+
+    target = zspace.p // 2
+    vertex: dict[int, bool] = {}
+    ones = 0
+    node = winners
+    for lvl in zspace.levels:
+        if not bdd.is_terminal(node) and bdd.level(node) == lvl:
+            lo, hi = bdd.low(node), bdd.high(node)
+            prefer_one = ones < target
+            if prefer_one and hi != FALSE:
+                vertex[lvl] = True
+                node = hi
+            elif lo != FALSE:
+                vertex[lvl] = False
+                node = lo
+            else:
+                vertex[lvl] = True
+                node = hi
+        else:
+            # free variable: choose by balance
+            vertex[lvl] = ones < target
+        if vertex[lvl]:
+            ones += 1
+    assert node == TRUE
+    return vertex
+
+
+def lmax(zspace: ZSpace, chis: Sequence[int], tie_break: TieBreak = "first") -> LmaxResult:
+    """Find a vertex preferable for a maximum number of outputs."""
+    if not chis:
+        raise ValueError("need at least one characteristic function")
+    layers = count_layers(zspace, chis)
+    for count in range(len(layers) - 1, -1, -1):
+        if layers[count] != FALSE:
+            vertex = pick_vertex(zspace, layers[count], tie_break)
+            return LmaxResult(count=count, winners=layers[count], vertex=vertex)
+    raise AssertionError("layer 0 is the full space; unreachable")

@@ -1,0 +1,11 @@
+"""File I/O: PLA and BLIF readers/writers.
+
+The paper's benchmarks are MCNC PLA files and ISCAS/MCNC BLIF netlists.
+These parsers let the genuine files be dropped into the benchmark registry;
+the writers export decomposed/mapped netlists for inspection by other tools.
+"""
+
+from repro.io.blif import parse_blif, write_blif
+from repro.io.pla import parse_pla, write_pla
+
+__all__ = ["parse_blif", "parse_pla", "write_blif", "write_pla"]

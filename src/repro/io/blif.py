@@ -1,0 +1,141 @@
+"""BLIF reader and writer (combinational subset).
+
+Supports ``.model``, ``.inputs``, ``.outputs``, ``.names`` (with ``-``/``0``/
+``1`` input plane and single-output ``0``/``1`` plane), line continuations
+with ``\\`` and comments with ``#``.  Latches and subcircuits are rejected --
+the paper's flow, like ours, is purely combinational.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+class BlifError(ValueError):
+    """Malformed BLIF input."""
+
+
+def _logical_lines(text: str):
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = (pending + line).strip()
+        pending = ""
+        if line:
+            yield line
+    if pending.strip():
+        yield pending.strip()
+
+
+def parse_blif(text: str) -> Network:
+    """Parse combinational BLIF text into a network."""
+    network: Network | None = None
+    inputs: list[str] = []
+    outputs: list[str] = []
+    # collected .names sections: (signals, rows)
+    tables: list[tuple[list[str], list[tuple[str, str]]]] = []
+    current: tuple[list[str], list[tuple[str, str]]] | None = None
+    model_name = "blif"
+
+    for line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword == ".model":
+                model_name = parts[1] if len(parts) > 1 else "blif"
+            elif keyword == ".inputs":
+                inputs.extend(parts[1:])
+                current = None
+            elif keyword == ".outputs":
+                outputs.extend(parts[1:])
+                current = None
+            elif keyword == ".names":
+                if len(parts) < 2:
+                    raise BlifError(".names needs at least an output signal")
+                current = (parts[1:], [])
+                tables.append(current)
+            elif keyword == ".end":
+                break
+            elif keyword in (".latch", ".subckt", ".gate"):
+                raise BlifError(f"{keyword} is not supported (combinational only)")
+            else:
+                raise BlifError(f"unsupported BLIF directive {keyword!r}")
+            continue
+        if current is None:
+            raise BlifError(f"table row {line!r} outside a .names section")
+        parts = line.split()
+        signals = current[0]
+        num_fanins = len(signals) - 1
+        if num_fanins == 0:
+            if len(parts) != 1 or parts[0] not in "01":
+                raise BlifError(f"bad constant row {line!r}")
+            current[1].append(("", parts[0]))
+        else:
+            if len(parts) != 2:
+                raise BlifError(f"bad table row {line!r}")
+            current[1].append((parts[0], parts[1]))
+
+    network = Network(model_name)
+    for name in inputs:
+        network.add_input(name)
+
+    # .names sections may appear in any order; add in dependency order.
+    pending = {t[0][-1]: t for t in tables}
+    defined = set(inputs)
+    progress = True
+    while pending and progress:
+        progress = False
+        for out_name in list(pending):
+            signals, rows = pending[out_name]
+            fanins = signals[:-1]
+            if any(f not in defined for f in fanins):
+                continue
+            cubes = []
+            for in_part, out_ch in rows:
+                if len(in_part) != len(fanins):
+                    raise BlifError(f"row width mismatch in .names {out_name}")
+                cubes.append((Cube.from_string(in_part) if fanins else Cube.tautology(0), out_ch))
+            onset = [c for c, ch in cubes if ch == "1"]
+            offset = [c for c, ch in cubes if ch == "0"]
+            if onset and offset:
+                raise BlifError(f".names {out_name} mixes onset and offset rows")
+            if offset:
+                # offset-specified table: complement via truth table (small n)
+                if len(fanins) > 16:
+                    raise BlifError("offset-specified table too wide to complement")
+                off = Sop(len(fanins), offset).to_truthtable()
+                cover = Sop.from_truthtable(~off)
+            else:
+                cover = Sop(len(fanins), onset)
+            network.add_node(out_name, fanins, cover)
+            defined.add(out_name)
+            del pending[out_name]
+            progress = True
+    if pending:
+        raise BlifError(f"undefined or cyclic signals: {sorted(pending)}")
+
+    network.set_outputs(outputs)
+    return network
+
+
+def write_blif(network: Network) -> str:
+    """Serialize a network as BLIF."""
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for name in network.topological_order():
+        node = network.nodes[name]
+        lines.append(".names " + " ".join([*node.fanins, name]))
+        if not node.fanins:
+            if node.cover.evaluate(0):
+                lines.append("1")
+            continue
+        for cube in node.cover.cubes:
+            lines.append(f"{cube} 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,131 @@
+"""Espresso-format PLA reader and writer.
+
+Supports the common subset used by the MCNC two-level benchmarks: ``.i``,
+``.o``, ``.ilb``, ``.ob``, ``.p``, ``.type fd|f|fr``, cube lines and ``.e``.
+A PLA describes a multi-output SOP; it is returned as a single-level
+:class:`~repro.network.network.Network` (one node per output), which the
+synthesis flow can then collapse or optimize like any other network.
+
+Only the onset semantics are kept: output character ``1`` puts the cube in
+that output's cover, everything else (``0``, ``-``, ``~``) does not.  The
+``fd``-type don't-care outputs are thus treated as offset, the conventional
+completely-specified reading used when benchmarks are mapped to LUTs.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+class PlaError(ValueError):
+    """Malformed PLA input."""
+
+
+def parse_pla(text: str, name: str = "pla") -> Network:
+    """Parse PLA text into a single-level network."""
+    num_inputs: int | None = None
+    num_outputs: int | None = None
+    input_names: list[str] | None = None
+    output_names: list[str] | None = None
+    cubes: list[tuple[str, str]] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword == ".i":
+                num_inputs = int(parts[1])
+            elif keyword == ".o":
+                num_outputs = int(parts[1])
+            elif keyword == ".ilb":
+                input_names = parts[1:]
+            elif keyword == ".ob":
+                output_names = parts[1:]
+            elif keyword in (".p", ".type", ".phase", ".pair"):
+                continue
+            elif keyword == ".e" or keyword == ".end":
+                break
+            else:
+                raise PlaError(f"unsupported PLA directive {keyword!r}")
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            in_part, out_part = parts
+        elif num_inputs is not None and len(parts) == 1:
+            in_part = line[:num_inputs]
+            out_part = line[num_inputs:]
+        else:
+            in_part = "".join(parts[:-1])
+            out_part = parts[-1]
+        cubes.append((in_part, out_part))
+
+    if num_inputs is None or num_outputs is None:
+        raise PlaError("missing .i or .o header")
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if output_names is None:
+        output_names = [f"f{i}" for i in range(num_outputs)]
+    if len(input_names) != num_inputs or len(output_names) != num_outputs:
+        raise PlaError("name list length does not match .i/.o")
+
+    covers: list[list[Cube]] = [[] for _ in range(num_outputs)]
+    for in_part, out_part in cubes:
+        if len(in_part) != num_inputs or len(out_part) != num_outputs:
+            raise PlaError(f"cube {in_part} {out_part}: wrong field width")
+        cube = Cube.from_string(in_part)
+        for k, ch in enumerate(out_part):
+            if ch == "1":
+                covers[k].append(cube)
+            elif ch not in "0-~234":
+                raise PlaError(f"bad output character {ch!r}")
+
+    network = Network(name)
+    for in_name in input_names:
+        network.add_input(in_name)
+    for k, out_name in enumerate(output_names):
+        network.add_node(out_name, input_names, Sop(num_inputs, covers[k]))
+    network.set_outputs(output_names)
+    return network
+
+
+def write_pla(network: Network) -> str:
+    """Write a single-level network (every node reads only primary inputs) as PLA."""
+    for node in network.nodes.values():
+        if node.name not in network.outputs:
+            raise ValueError("PLA export requires a flat, outputs-only network")
+        if any(f not in network.inputs for f in node.fanins):
+            raise ValueError(f"node {node.name!r} reads internal signals")
+
+    inputs = list(network.inputs)
+    outputs = list(network.outputs)
+    index = {name: i for i, name in enumerate(inputs)}
+
+    rows: dict[str, set[str]] = {}
+    for out_name in outputs:
+        node = network.nodes[out_name]
+        for cube in node.cover.cubes:
+            lits = cube.literals()
+            global_lits = {index[node.fanins[j]]: pol for j, pol in lits.items()}
+            text = "".join(
+                "1" if global_lits.get(i) is True else "0" if global_lits.get(i) is False else "-"
+                for i in range(len(inputs))
+            )
+            rows.setdefault(text, set()).add(out_name)
+
+    lines = [
+        f".i {len(inputs)}",
+        f".o {len(outputs)}",
+        ".ilb " + " ".join(inputs),
+        ".ob " + " ".join(outputs),
+        f".p {len(rows)}",
+    ]
+    for text in sorted(rows):
+        out_field = "".join("1" if o in rows[text] else "0" for o in outputs)
+        lines.append(f"{text} {out_field}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

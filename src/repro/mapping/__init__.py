@@ -1,0 +1,27 @@
+"""LUT technology mapping and XC3000 CLB packing.
+
+- :mod:`~repro.mapping.flow` -- the recursive decomposition-based LUT
+  synthesis flow, in the paper's two modes: ``multi`` (IMODEC) and ``single``
+  (classical per-output decomposition, the Table 2 baseline).
+- :mod:`~repro.mapping.xc3000` -- packing k-feasible LUT networks into
+  Xilinx XC3000 CLBs (one 5-input function, or two functions of <= 4 inputs
+  sharing at most 5 distinct inputs).
+- :mod:`~repro.mapping.lut` -- LUT-network helpers and validity checks.
+"""
+
+from repro.mapping.flow import FlowConfig, FlowResult, synthesize
+from repro.mapping.lut import check_k_feasible, lut_count
+from repro.mapping.structural import synthesize_structural
+from repro.mapping.xc3000 import pack_xc3000
+from repro.mapping.xc4000 import pack_xc4000
+
+__all__ = [
+    "FlowConfig",
+    "FlowResult",
+    "check_k_feasible",
+    "lut_count",
+    "pack_xc3000",
+    "pack_xc4000",
+    "synthesize",
+    "synthesize_structural",
+]

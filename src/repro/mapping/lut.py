@@ -1,0 +1,32 @@
+"""LUT-network helpers.
+
+A LUT network is an ordinary :class:`~repro.network.network.Network` whose
+nodes all have at most ``k`` fanins; each node is one lookup table.  The
+helpers here validate that property and count LUTs (wires aliased straight
+to inputs cost nothing).
+"""
+
+from __future__ import annotations
+
+from repro.network.network import Network
+
+
+def check_k_feasible(network: Network, k: int) -> None:
+    """Raise ValueError unless every node has at most ``k`` fanins."""
+    for node in network.nodes.values():
+        if len(node.fanins) > k:
+            raise ValueError(
+                f"node {node.name!r} has {len(node.fanins)} fanins (k = {k})"
+            )
+
+
+def lut_count(network: Network) -> int:
+    """Number of LUTs = number of logic nodes."""
+    return len(network.nodes)
+
+
+def level_count(network: Network) -> int:
+    """LUT depth of the network."""
+    from repro.network.stats import network_stats
+
+    return network_stats(network).depth

@@ -1,0 +1,64 @@
+"""Packing LUT networks into Xilinx XC3000 CLBs.
+
+The XC3000 Configurable Logic Block has five logic inputs and two outputs.
+Its function generator implements either one function of up to five inputs
+or two functions of up to four inputs each, as long as the two functions
+together use at most five distinct input signals.
+
+Packing is therefore a matching problem: build the compatibility graph over
+the <=4-input LUTs (edge = combined support <= 5) and take a maximum
+matching; every matched pair shares one CLB, everything else gets its own.
+networkx's max-cardinality matching keeps this exact rather than greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.network.network import Network
+
+
+@dataclass
+class PackingResult:
+    """CLB assignment of a LUT network."""
+
+    pairs: list[tuple[str, str]]
+    singles: list[str]
+
+    @property
+    def num_clbs(self) -> int:
+        return len(self.pairs) + len(self.singles)
+
+
+def pack_xc3000(network: Network, k: int = 5, pair_fanin: int = 4) -> PackingResult:
+    """Pack a k-feasible LUT network into XC3000 CLBs.
+
+    ``k`` is the single-function input limit (5 on the XC3000); ``pair_fanin``
+    the per-function limit when two functions share a CLB (4).  Constant
+    nodes are free (tied-off inputs) and consume no CLB.
+    """
+    lut_names = []
+    supports: dict[str, frozenset[str]] = {}
+    for name, node in network.nodes.items():
+        if not node.fanins:
+            continue  # constants are tied off, no CLB needed
+        if len(node.fanins) > k:
+            raise ValueError(f"node {name!r} exceeds {k} inputs")
+        lut_names.append(name)
+        supports[name] = frozenset(node.fanins)
+
+    graph = nx.Graph()
+    pairable = [n for n in lut_names if len(supports[n]) <= pair_fanin]
+    graph.add_nodes_from(pairable)
+    for i, a in enumerate(pairable):
+        for b in pairable[i + 1 :]:
+            if len(supports[a] | supports[b]) <= k:
+                graph.add_edge(a, b)
+
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    pairs = sorted(tuple(sorted(edge)) for edge in matching)
+    paired = {n for edge in pairs for n in edge}
+    singles = sorted(n for n in lut_names if n not in paired)
+    return PackingResult(pairs=pairs, singles=singles)

@@ -1,0 +1,82 @@
+"""Packing 4-feasible LUT networks into Xilinx XC4000 CLBs.
+
+The XC4000 CLB contains two independent 4-input function generators (F and
+G -- separate input pins, so no shared-input restriction as on the XC3000)
+plus a third 3-input generator H that can combine F, G and one extra input.
+A CLB therefore implements either
+
+- two arbitrary functions of <= 4 inputs each, or
+- one function of up to 9 inputs of the form ``H(F(..), G(..), h1)``.
+
+Packing proceeds in two steps: greedily absorb *H-triples* -- a 3-input
+node whose fanins include two single-fanout internal LUTs -- into single
+CLBs, then pair the remaining LUTs two per CLB (no compatibility constraint
+needed).  The result is a valid, conservative CLB count for k = 4 mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.network import Network
+
+
+@dataclass
+class Xc4000Packing:
+    """CLB assignment of a 4-feasible LUT network."""
+
+    triples: list[tuple[str, str, str]] = field(default_factory=list)  # (h, f, g)
+    pairs: list[tuple[str, str]] = field(default_factory=list)
+    singles: list[str] = field(default_factory=list)
+
+    @property
+    def num_clbs(self) -> int:
+        return len(self.triples) + len(self.pairs) + len(self.singles)
+
+
+def pack_xc4000(network: Network, k: int = 4) -> Xc4000Packing:
+    """Pack a ``k``-feasible LUT network (k <= 4) into XC4000 CLBs."""
+    if k > 4:
+        raise ValueError("the XC4000 function generators have 4 inputs")
+    lut_names = []
+    for name, node in network.nodes.items():
+        if not node.fanins:
+            continue  # constants are tied off
+        if len(node.fanins) > 4:
+            raise ValueError(f"node {name!r} exceeds 4 inputs")
+        lut_names.append(name)
+
+    fanouts = network.fanouts()
+    packing = Xc4000Packing()
+    used: set[str] = set()
+
+    # Step 1: H-triples.  h has <= 3 fanins, two of which are internal LUTs
+    # whose only fanout is h and which are not primary outputs themselves.
+    for h in lut_names:
+        if h in used:
+            continue
+        node = network.nodes[h]
+        if len(node.fanins) > 3:
+            continue
+        candidates = [
+            f
+            for f in dict.fromkeys(node.fanins)
+            if f in network.nodes
+            and f not in used
+            and f != h
+            and network.nodes[f].fanins
+            and fanouts.get(f, []) == [h]
+            and f not in network.outputs
+        ]
+        if len(candidates) >= 2:
+            f, g = candidates[0], candidates[1]
+            packing.triples.append((h, f, g))
+            used.update({h, f, g})
+
+    # Step 2: free pairing of the remaining LUTs.
+    rest = [n for n in lut_names if n not in used]
+    for i in range(0, len(rest) - 1, 2):
+        packing.pairs.append((rest[i], rest[i + 1]))
+    if len(rest) % 2:
+        packing.singles.append(rest[-1])
+    return packing

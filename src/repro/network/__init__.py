@@ -1,0 +1,14 @@
+"""Boolean networks: the circuit substrate.
+
+A :class:`~repro.network.network.Network` is a DAG of logic nodes, each
+carrying a sum-of-products cover over its fanins (the BLIF ``.names``
+model).  The synthesis flow consumes networks: benchmark circuits are
+generated or parsed into networks, collapsed into BDDs per output
+(:mod:`~repro.network.collapse`), decomposed, and written back out as LUT
+netlists.
+"""
+
+from repro.network.collapse import collapse
+from repro.network.network import LogicNode, Network
+
+__all__ = ["LogicNode", "Network", "collapse"]

@@ -1,0 +1,216 @@
+"""The Boolean network data structure.
+
+A network has primary inputs, primary outputs and internal logic nodes.
+Every logic node computes a sum-of-products cover over its fanins, exactly
+like a BLIF ``.names`` table.  Output names refer to nodes or inputs.
+
+The structure is deliberately mutable -- optimization passes
+(:mod:`repro.network.sweep`, :mod:`repro.algebraic`) edit it in place -- but
+all edits go through methods that keep the fanin references consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+
+
+@dataclass
+class LogicNode:
+    """An internal node: ``cover`` is an SOP over the ``fanins`` (in order)."""
+
+    name: str
+    fanins: list[str]
+    cover: Sop
+
+    def __post_init__(self) -> None:
+        if self.cover.num_vars != len(self.fanins):
+            raise ValueError(
+                f"node {self.name}: cover arity {self.cover.num_vars} != "
+                f"{len(self.fanins)} fanins"
+            )
+
+    def truthtable(self) -> TruthTable:
+        """Local function of the node over its fanins."""
+        return self.cover.to_truthtable()
+
+
+class Network:
+    """A combinational Boolean network."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.nodes: dict[str, LogicNode] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        if name in self.nodes or name in self.inputs:
+            raise ValueError(f"signal {name!r} already exists")
+        self.inputs.append(name)
+        return name
+
+    def add_node(self, name: str, fanins: Iterable[str], cover: Sop) -> str:
+        """Add a logic node; fanins must already exist."""
+        if name in self.nodes or name in self.inputs:
+            raise ValueError(f"signal {name!r} already exists")
+        fanin_list = list(fanins)
+        for f in fanin_list:
+            if f not in self.nodes and f not in self.inputs:
+                raise ValueError(f"node {name!r}: unknown fanin {f!r}")
+        self.nodes[name] = LogicNode(name, fanin_list, cover)
+        return name
+
+    def add_constant(self, name: str, value: bool) -> str:
+        """Add a constant-0 or constant-1 node."""
+        cover = Sop.one(0) if value else Sop.zero(0)
+        return self.add_node(name, [], cover)
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        """Declare the primary outputs (signals must exist)."""
+        out = list(names)
+        for name in out:
+            if name not in self.nodes and name not in self.inputs:
+                raise ValueError(f"unknown output signal {name!r}")
+        self.outputs = out
+
+    def replace_cover(self, name: str, fanins: Iterable[str], cover: Sop) -> None:
+        """Replace the local function of an existing node."""
+        node = self.nodes[name]
+        fanin_list = list(fanins)
+        for f in fanin_list:
+            if f not in self.nodes and f not in self.inputs:
+                raise ValueError(f"node {name!r}: unknown fanin {f!r}")
+            if f == name:
+                raise ValueError(f"node {name!r} cannot feed itself")
+        node.fanins = fanin_list
+        node.cover = cover
+        if cover.num_vars != len(fanin_list):
+            raise ValueError("cover arity mismatch")
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node; it must have no remaining fanouts and not be an output."""
+        if name in self.outputs:
+            raise ValueError(f"node {name!r} is a primary output")
+        for other in self.nodes.values():
+            if name in other.fanins:
+                raise ValueError(f"node {name!r} still feeds {other.name!r}")
+        del self.nodes[name]
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A signal name not yet used in the network."""
+        i = len(self.nodes)
+        while f"{prefix}{i}" in self.nodes or f"{prefix}{i}" in self.inputs:
+            i += 1
+        return f"{prefix}{i}"
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def fanouts(self) -> dict[str, list[str]]:
+        """Signal -> list of node names it feeds."""
+        out: dict[str, list[str]] = {name: [] for name in self.inputs}
+        out.update({name: out.get(name, []) for name in self.nodes})
+        for name in self.nodes:
+            out.setdefault(name, [])
+        for node in self.nodes.values():
+            for f in node.fanins:
+                out[f].append(node.name)
+        return out
+
+    def topological_order(self) -> list[str]:
+        """Logic nodes in topological (fanin-first) order; detects cycles."""
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            if name in self.inputs:
+                return
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise ValueError(f"combinational cycle through {name!r}")
+            state[name] = 0
+            for f in self.nodes[name].fanins:
+                visit(f)
+            state[name] = 1
+            order.append(name)
+
+        for name in self.nodes:
+            visit(name)
+        return order
+
+    def transitive_fanin(self, roots: Iterable[str]) -> set[str]:
+        """All signals (nodes and inputs) feeding the given roots, inclusive."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in self.nodes:
+                stack.extend(self.nodes[name].fanins)
+        return seen
+
+    def node_support(self, name: str) -> set[str]:
+        """Primary inputs in the transitive fanin of a signal."""
+        return {s for s in self.transitive_fanin([name]) if s in self.inputs}
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Value of every signal under a primary-input assignment."""
+        values: dict[str, bool] = {}
+        for name in self.inputs:
+            values[name] = bool(assignment[name])
+        for name in self.topological_order():
+            node = self.nodes[name]
+            row = 0
+            for j, f in enumerate(node.fanins):
+                if values[f]:
+                    row |= 1 << j
+            values[name] = node.cover.evaluate(row)
+        return values
+
+    def evaluate_outputs(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Values of the primary outputs only."""
+        values = self.evaluate(assignment)
+        return {name: values[name] for name in self.outputs}
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def copy(self) -> "Network":
+        """Deep-enough copy (covers are shared; they are treated as immutable)."""
+        dup = Network(self.name)
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.nodes = {
+            name: LogicNode(name, list(node.fanins), node.cover)
+            for name, node in self.nodes.items()
+        }
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network {self.name!r}: {len(self.inputs)} inputs, "
+            f"{len(self.outputs)} outputs, {len(self.nodes)} nodes>"
+        )

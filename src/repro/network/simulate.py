@@ -1,0 +1,51 @@
+"""Random-vector simulation and equivalence checking between networks.
+
+Used throughout the test suite and the mapping flow to validate that a
+transformed network (swept, optimized, decomposed, packed) still computes
+the original functions.  Small input counts are checked exhaustively;
+larger ones by seeded random vectors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.network.network import Network
+
+EXHAUSTIVE_LIMIT = 12
+
+
+def input_vectors(inputs: list[str], num_random: int, seed: int) -> Iterable[dict[str, bool]]:
+    """Exhaustive vectors for few inputs, seeded random vectors otherwise."""
+    n = len(inputs)
+    if n <= EXHAUSTIVE_LIMIT:
+        for row in range(1 << n):
+            yield {name: bool((row >> j) & 1) for j, name in enumerate(inputs)}
+        return
+    rng = random.Random(seed)
+    for _ in range(num_random):
+        yield {name: bool(rng.getrandbits(1)) for name in inputs}
+
+
+def equivalent(
+    a: Network,
+    b: Network,
+    num_random: int = 256,
+    seed: int = 0,
+) -> bool:
+    """Check output equivalence of two networks on common vectors.
+
+    The networks must agree on input and output names.  Exhaustive up to
+    ``EXHAUSTIVE_LIMIT`` inputs, random beyond (a simulation check, not a
+    proof -- the flow additionally verifies decompositions by BDD
+    composition, which *is* exact).
+    """
+    if set(a.inputs) != set(b.inputs):
+        raise ValueError("networks have different inputs")
+    if list(a.outputs) != list(b.outputs):
+        raise ValueError("networks have different outputs")
+    for vector in input_vectors(a.inputs, num_random, seed):
+        if a.evaluate_outputs(vector) != b.evaluate_outputs(vector):
+            return False
+    return True

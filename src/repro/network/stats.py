@@ -1,0 +1,49 @@
+"""Network statistics (node/literal counts, depth, fanin profile)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.network import Network
+
+
+@dataclass
+class NetworkStats:
+    """Summary numbers of a network."""
+
+    num_inputs: int
+    num_outputs: int
+    num_nodes: int
+    num_literals: int
+    depth: int
+    max_fanin: int
+
+    def __str__(self) -> str:
+        return (
+            f"inputs={self.num_inputs} outputs={self.num_outputs} "
+            f"nodes={self.num_nodes} literals={self.num_literals} "
+            f"depth={self.depth} max_fanin={self.max_fanin}"
+        )
+
+
+def network_stats(network: Network) -> NetworkStats:
+    """Compute summary statistics of a network."""
+    depth: dict[str, int] = {name: 0 for name in network.inputs}
+    max_depth = 0
+    max_fanin = 0
+    literals = 0
+    for name in network.topological_order():
+        node = network.nodes[name]
+        literals += node.cover.num_literals()
+        max_fanin = max(max_fanin, len(node.fanins))
+        d = 1 + max((depth[f] for f in node.fanins), default=0)
+        depth[name] = d
+        max_depth = max(max_depth, d)
+    return NetworkStats(
+        num_inputs=len(network.inputs),
+        num_outputs=len(network.outputs),
+        num_nodes=len(network.nodes),
+        num_literals=literals,
+        depth=max_depth,
+        max_fanin=max_fanin,
+    )

@@ -1,0 +1,161 @@
+"""Network cleanup passes.
+
+``sweep`` is the standard SIS-style cleanup that every optimization script
+starts with: remove logic that no output depends on, propagate constants,
+and absorb buffers/inverters into their fanouts.  Our ``rugged``-substitute
+script (:mod:`repro.algebraic.rugged`) runs it between the heavier passes.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+def remove_dangling(network: Network) -> int:
+    """Delete nodes outside the transitive fanin of the outputs.  Returns count."""
+    keep = network.transitive_fanin(network.outputs)
+    dead = [name for name in network.nodes if name not in keep]
+    for name in dead:
+        del network.nodes[name]
+    return len(dead)
+
+
+def _detach_fanin(cover: Sop, index: int, value: bool) -> Sop:
+    """Specialize a cover to fanin ``index`` = ``value`` and drop that column.
+
+    The resulting cover keeps the same arity bookkeeping by re-indexing the
+    remaining variables, matching a fanin list with the entry removed.
+    """
+    n = cover.num_vars
+    out = []
+    for cube in cover.cubes:
+        lits = cube.literals()
+        if index in lits and lits[index] != value:
+            continue  # cube dies under this value
+        new_lits = {}
+        for j, pol in lits.items():
+            if j == index:
+                continue
+            new_lits[j - 1 if j > index else j] = pol
+        out.append(Cube.from_literals(n - 1, new_lits))
+    return Sop(n - 1, out)
+
+
+def propagate_constants(network: Network) -> int:
+    """Fold constant nodes into their fanouts.  Returns number of folds."""
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        constants: dict[str, bool] = {}
+        for name, node in network.nodes.items():
+            table = node.cover.to_truthtable() if len(node.fanins) <= 10 else None
+            if node.cover.num_vars == 0 or (table is not None and table.is_constant):
+                value = node.cover.evaluate(0) if node.cover.num_vars == 0 else table[0]
+                constants[name] = value
+        for name, node in network.nodes.items():
+            if name in constants:
+                continue
+            while True:
+                const_fanins = [
+                    (j, constants[f]) for j, f in enumerate(node.fanins) if f in constants
+                ]
+                if not const_fanins:
+                    break
+                j, value = const_fanins[0]
+                new_cover = _detach_fanin(node.cover, j, value)
+                new_fanins = node.fanins[:j] + node.fanins[j + 1 :]
+                network.replace_cover(name, new_fanins, new_cover)
+                folds += 1
+                changed = True
+    remove_dangling(network)
+    return folds
+
+
+def absorb_buffers(network: Network) -> int:
+    """Inline single-input identity/complement nodes into their fanouts."""
+    absorbed = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in list(network.nodes):
+            node = network.nodes[name]
+            if len(node.fanins) != 1 or name in network.outputs:
+                continue
+            table = node.cover.to_truthtable()
+            if table.bits == 0b10:  # identity
+                inverted = False
+            elif table.bits == 0b01:  # inverter
+                inverted = True
+            else:
+                continue
+            source = node.fanins[0]
+            for other in network.nodes.values():
+                if name not in other.fanins:
+                    continue
+                new_cover = other.cover
+                if inverted:
+                    idx = other.fanins.index(name)
+                    flipped = []
+                    for cube in new_cover.cubes:
+                        lits = cube.literals()
+                        if idx in lits:
+                            lits[idx] = not lits[idx]
+                        flipped.append(Cube.from_literals(new_cover.num_vars, lits))
+                    new_cover = Sop(new_cover.num_vars, flipped)
+                new_fanins = [source if f == name else f for f in other.fanins]
+                network.replace_cover(other.name, new_fanins, new_cover)
+            remove_dangling(network)
+            absorbed += 1
+            changed = True
+            break
+    return absorbed
+
+
+def merge_duplicates(network: Network) -> int:
+    """Merge nodes with identical fanins and identical local function."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        seen: dict[tuple, str] = {}
+        for name in network.topological_order():
+            node = network.nodes[name]
+            if len(node.fanins) > 10:
+                continue
+            key = (tuple(node.fanins), node.cover.to_truthtable().bits)
+            keeper = seen.get(key)
+            if keeper is None:
+                seen[key] = name
+                continue
+            if name in network.outputs:
+                # primary outputs keep their own node (the interface is fixed);
+                # their fanouts may still be redirected to the keeper
+                for other in network.nodes.values():
+                    if name in other.fanins and other.name != name:
+                        other.fanins = [keeper if f == name else f for f in other.fanins]
+                continue
+            # redirect fanouts of `name` to `keeper`
+            for other in network.nodes.values():
+                if name in other.fanins:
+                    other.fanins = [keeper if f == name else f for f in other.fanins]
+            del network.nodes[name]
+            merged += 1
+            changed = True
+            break
+    return merged
+
+
+def sweep(network: Network) -> dict[str, int]:
+    """Run all cleanup passes to a fixed point; returns per-pass counts."""
+    stats = {"dangling": 0, "constants": 0, "buffers": 0, "duplicates": 0}
+    while True:
+        before = dict(stats)
+        stats["dangling"] += remove_dangling(network)
+        stats["constants"] += propagate_constants(network)
+        stats["buffers"] += absorb_buffers(network)
+        stats["duplicates"] += merge_duplicates(network)
+        if stats == before:
+            return stats

@@ -1,0 +1,12 @@
+"""Input-variable and output partitioning heuristics.
+
+Before IMODEC runs, two grouping problems must be solved (Section 7 of the
+paper): which outputs to decompose together as a vector **f** (output
+partitioning, the paper's greedy heuristic) and which input variables form
+the bound set (variable partitioning, solved heuristically after [15]).
+"""
+
+from repro.partitioning.outputs import partition_outputs
+from repro.partitioning.variables import choose_bound_set
+
+__all__ = ["choose_bound_set", "partition_outputs"]

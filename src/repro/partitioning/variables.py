@@ -1,0 +1,128 @@
+"""Bound-set selection (variable partitioning).
+
+The paper solves variable partitioning with the heuristic of [15] (an
+untranslated workshop paper); what matters for IMODEC is only the *quality
+signal*: a bad bound set shows up as a large number ``p`` of global classes,
+which by Property 1 lower-bounds the number of decomposition functions and
+lets the decomposition be aborted early.
+
+We therefore score a candidate bound set by the tuple
+``(p, sum of local class counts)`` -- fewer global classes first, then fewer
+local classes -- and search either exhaustively (small inputs) or greedily
+(grow the bound set one variable at a time, keeping the best-scoring
+extension).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Literal, Sequence
+
+from repro.bdd.manager import BDD
+from repro.decompose.compat import local_partition
+from repro.decompose.partitions import Partition
+
+Strategy = Literal["auto", "exhaustive", "greedy", "random"]
+
+#: Maximum number of candidate bound sets evaluated exhaustively.
+EXHAUSTIVE_BUDGET = 400
+
+
+Scorer = Literal["compact", "shared"]
+
+
+def score_bound_set(
+    bdd: BDD,
+    f_nodes: Sequence[int],
+    bs_levels: Sequence[int],
+    scorer: Scorer = "compact",
+) -> tuple[int, int, int]:
+    """Score of a candidate bound set -- lower is better.
+
+    The primary key is always the number p of global classes (Property 1:
+    it lower-bounds the number of decomposition functions).  Two secondary
+    orderings are offered, because multi-output vectors pull in opposite
+    directions:
+
+    - ``compact``: fewer total local classes first (small per-output
+      codewidths); dependence only breaks ties.
+    - ``shared``: more (output, bound variable) interactions first -- bound
+      variables many outputs depend on enable sharing, whereas variables
+      private to one output make the vector decompose as singletons.
+
+    The flow tries both and keeps the better decomposition.
+    """
+    parts = [local_partition(bdd, f, bs_levels) for f in f_nodes]
+    glob = Partition.product_all(parts)
+    bs_set = set(bs_levels)
+    dependence = sum(len(bdd.support(f) & bs_set) for f in f_nodes)
+    total_classes = sum(p.num_blocks for p in parts)
+    if scorer == "shared":
+        return glob.num_blocks, -dependence, total_classes
+    if scorer == "compact":
+        return glob.num_blocks, total_classes, -dependence
+    raise ValueError(f"unknown scorer {scorer!r}")
+
+
+def choose_bound_set(
+    bdd: BDD,
+    f_nodes: Sequence[int],
+    input_levels: Sequence[int],
+    bound_size: int,
+    strategy: Strategy = "auto",
+    rng: random.Random | None = None,
+    scorer: Scorer = "compact",
+) -> tuple[list[int], list[int]]:
+    """Pick a bound set of ``bound_size`` variables from ``input_levels``.
+
+    Returns ``(bs_levels, fs_levels)``.  The free set is never empty: at
+    most ``len(input_levels) - 1`` variables can be bound.
+    """
+    levels = list(input_levels)
+    n = len(levels)
+    if not 1 <= bound_size < n:
+        raise ValueError("need 1 <= bound_size < number of inputs")
+
+    if strategy == "auto":
+        num_candidates = _n_choose_k(n, bound_size)
+        strategy = "exhaustive" if num_candidates <= EXHAUSTIVE_BUDGET else "greedy"
+
+    if strategy == "exhaustive":
+        best = None
+        best_score = None
+        for combo in itertools.combinations(levels, bound_size):
+            score = score_bound_set(bdd, f_nodes, combo, scorer)
+            if best_score is None or score < best_score:
+                best, best_score = list(combo), score
+        assert best is not None
+        bs = best
+    elif strategy == "greedy":
+        bs = []
+        remaining = list(levels)
+        while len(bs) < bound_size:
+            best_var = None
+            best_score = None
+            for var in remaining:
+                score = score_bound_set(bdd, f_nodes, bs + [var], scorer)
+                if best_score is None or score < best_score:
+                    best_var, best_score = var, score
+            assert best_var is not None
+            bs.append(best_var)
+            remaining.remove(best_var)
+    elif strategy == "random":
+        rng = rng or random.Random(0)
+        bs = rng.sample(levels, bound_size)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    bs_sorted = sorted(bs)
+    fs = [lvl for lvl in levels if lvl not in set(bs_sorted)]
+    return bs_sorted, fs
+
+
+def _n_choose_k(n: int, k: int) -> int:
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

@@ -1,0 +1,34 @@
+"""Two-level (SOP) minimization.
+
+An espresso-style minimizer over :class:`~repro.boolfunc.sop.Sop` covers:
+unate-recursive-paradigm (URP) tautology and complement, cube expansion
+against the offset, irredundant-cover extraction and cube reduction, driven
+by the classic expand / irredundant / reduce loop.
+
+In the synthesis flow this plays the role SIS's ``simplify`` plays inside
+``script.rugged``: node covers are minimized between algebraic extraction
+passes.  It is deliberately an *heuristic* minimizer -- exactness is not
+required anywhere in the paper's flow.
+"""
+
+from repro.twolevel.espresso import espresso, expand, irredundant, reduce_cover
+from repro.twolevel.exact import exact_minimize, exact_minimize_sop, prime_implicants
+from repro.twolevel.implicit_primes import MetaProducts, count_primes
+from repro.twolevel.incompletely import espresso_dc
+from repro.twolevel.tautology import complement, covers_cube, is_tautology
+
+__all__ = [
+    "MetaProducts",
+    "complement",
+    "count_primes",
+    "covers_cube",
+    "espresso",
+    "espresso_dc",
+    "exact_minimize",
+    "exact_minimize_sop",
+    "expand",
+    "irredundant",
+    "is_tautology",
+    "prime_implicants",
+    "reduce_cover",
+]

@@ -1,0 +1,106 @@
+"""The espresso loop: expand, irredundant, reduce.
+
+A heuristic minimizer for completely specified single-output covers.  The
+implementation follows the textbook structure:
+
+- ``expand`` enlarges each cube literal-by-literal as long as it stays
+  disjoint from the offset, then drops cubes covered by earlier ones;
+- ``irredundant`` removes cubes contained in the union of the others;
+- ``reduce_cover`` shrinks each cube to the supercube of the part of it not
+  covered by the other cubes, opening room for the next expand;
+- ``espresso`` iterates until the literal cost stops improving.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.twolevel.tautology import complement, covers_cube, is_tautology
+
+
+def _cost(cover: Sop) -> tuple[int, int]:
+    return (len(cover.cubes), cover.num_literals())
+
+
+def expand(cover: Sop, offset: Sop | None = None) -> Sop:
+    """Expand each cube against the offset; drop covered cubes.
+
+    ``offset`` is the complement of the function; computed by URP when not
+    supplied.  The expansion order tries large cubes first so small cubes
+    get absorbed.
+    """
+    if offset is None:
+        offset = complement(cover)
+    n = cover.num_vars
+    expanded: list[Cube] = []
+    for cube in sorted(cover.cubes, key=lambda c: c.num_literals()):
+        current = cube
+        for j in sorted(current.literals()):
+            candidate = current.without(j)
+            if not any(candidate.intersects(off) for off in offset.cubes):
+                current = candidate
+        if not any(e.covers(current) for e in expanded):
+            expanded = [e for e in expanded if not current.covers(e)]
+            expanded.append(current)
+    return Sop(n, expanded)
+
+
+def irredundant(cover: Sop) -> Sop:
+    """Remove cubes covered by the union of the remaining cubes."""
+    cubes = list(cover.cubes)
+    # Try to drop the biggest-cost cubes first (more literals = better to keep
+    # small cover; dropping larger-literal cubes reduces literal count more).
+    order = sorted(range(len(cubes)), key=lambda i: -cubes[i].num_literals())
+    keep = set(range(len(cubes)))
+    for i in order:
+        rest = Sop(cover.num_vars, [cubes[j] for j in keep if j != i])
+        if covers_cube(rest, cubes[i]):
+            keep.remove(i)
+    return Sop(cover.num_vars, [cubes[i] for i in sorted(keep)])
+
+
+def reduce_cover(cover: Sop) -> Sop:
+    """Shrink each cube to the supercube of its uniquely covered part."""
+    n = cover.num_vars
+    cubes = list(cover.cubes)
+    out: list[Cube] = []
+    for i, cube in enumerate(cubes):
+        # `cubes` holds reduced versions for j < i, originals for j > i.
+        others = Sop(n, [c for j, c in enumerate(cubes) if j != i])
+        # part of `cube` not covered by the others = cube & complement(others
+        # cofactored by cube)
+        rest = complement(others.cofactor(cube))
+        if not rest.cubes:
+            # cube fully covered elsewhere; keep as-is (irredundant handles it)
+            out.append(cube)
+            continue
+        # supercube of (cube AND rest)
+        merged: Cube | None = None
+        for r in rest.cubes:
+            inter = cube.intersection(r)
+            if inter is None:
+                continue
+            merged = inter if merged is None else merged.supercube(inter)
+        out.append(merged if merged is not None else cube)
+        cubes[i] = out[-1]
+    return Sop(n, out)
+
+
+def espresso(cover: Sop, max_iterations: int = 10) -> Sop:
+    """Heuristic minimization; the result covers exactly the same function."""
+    if not cover.cubes:
+        return cover
+    if is_tautology(cover):
+        return Sop.one(cover.num_vars)
+    offset = complement(cover)
+    best = irredundant(expand(cover, offset))
+    best_cost = _cost(best)
+    current = best
+    for _ in range(max_iterations):
+        current = irredundant(expand(reduce_cover(current), offset))
+        cost = _cost(current)
+        if cost < best_cost:
+            best, best_cost = current, cost
+        else:
+            break
+    return best

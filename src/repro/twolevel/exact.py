@@ -1,0 +1,140 @@
+"""Exact two-level minimization (Quine--McCluskey + branch-and-bound cover).
+
+The espresso loop in :mod:`repro.twolevel.espresso` is heuristic; this
+module provides the exact counterpart for small functions: enumerate all
+prime implicants (consensus/absorption iteration over the cube lattice) and
+solve the minimum unate covering problem exactly by branch and bound with
+essential-prime extraction and row/column dominance.
+
+Practical up to ~12 variables; the test suite uses it as the optimality
+oracle for espresso, and code reviewers can use it to gauge how far the
+heuristic lands from the optimum on node covers.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+
+
+def prime_implicants(onset: TruthTable, dc: TruthTable | None = None) -> list[Cube]:
+    """All prime implicants of ``onset`` (expansion may use ``dc``)."""
+    n = onset.num_vars
+    if dc is not None and dc.num_vars != n:
+        raise ValueError("onset/dc arity mismatch")
+    allowed = onset.bits | (dc.bits if dc is not None else 0)
+    if allowed == TruthTable.full_mask(n):
+        return [Cube.tautology(n)]
+
+    def cube_allowed(cube: Cube) -> bool:
+        return all((allowed >> m) & 1 for m in cube.minterms())
+
+    # Start from the allowed minterms, then repeatedly merge distance-1
+    # cubes (Quine-McCluskey column merging on the cube lattice).
+    current = {Cube.from_minterm(n, m) for m in TruthTable(n, allowed).minterms()}
+    primes: set[Cube] = set()
+    while current:
+        merged: set[Cube] = set()
+        used: set[Cube] = set()
+        cubes = sorted(current, key=lambda c: (c.care, c.value))
+        by_care: dict[int, list[Cube]] = {}
+        for c in cubes:
+            by_care.setdefault(c.care, []).append(c)
+        for care, group in by_care.items():
+            seen = {c.value for c in group}
+            for c in group:
+                for j in range(n):
+                    bit = 1 << j
+                    if not care & bit:
+                        continue
+                    partner = c.value ^ bit
+                    if partner in seen:
+                        bigger = Cube(n, care & ~bit, c.value & ~bit)
+                        merged.add(bigger)
+                        used.add(c)
+                        used.add(Cube(n, care, partner))
+        for c in current - used:
+            primes.add(c)
+        current = merged
+    # A prime must cover at least one *care* onset minterm.
+    return sorted(
+        (p for p in primes if any((onset.bits >> m) & 1 for m in p.minterms())),
+        key=lambda c: (c.num_literals(), c.care, c.value),
+    )
+
+
+def _min_cover(
+    rows: list[int], columns: list[frozenset[int]], best_bound: int
+) -> list[int] | None:
+    """Branch-and-bound minimum column cover of the given rows.
+
+    ``columns[i]`` is the set of rows column i covers.  Returns column
+    indices, or None if no cover with fewer than ``best_bound`` columns
+    exists.
+    """
+    best: list[int] | None = None
+    bound = best_bound
+
+    def recurse(uncovered: frozenset[int], alive: tuple[int, ...], chosen: list[int]) -> None:
+        nonlocal best, bound
+        if not uncovered:
+            if len(chosen) < bound:
+                best = list(chosen)
+                bound = len(chosen)
+            return
+        if len(chosen) + 1 >= bound:
+            return  # even one more column cannot beat the incumbent
+        # essential column: a row covered by exactly one alive column
+        for row in uncovered:
+            covering = [i for i in alive if row in columns[i]]
+            if not covering:
+                return  # this row became uncoverable
+            if len(covering) == 1:
+                i = covering[0]
+                recurse(
+                    uncovered - columns[i],
+                    tuple(j for j in alive if j != i),
+                    chosen + [i],
+                )
+                return
+        # branch on the hardest row (fewest covering columns), trying the
+        # columns that cover the most uncovered rows first
+        branch_row = min(
+            uncovered, key=lambda r: sum(1 for i in alive if r in columns[i])
+        )
+        candidates = sorted(
+            (i for i in alive if branch_row in columns[i]),
+            key=lambda i: -len(columns[i] & uncovered),
+        )
+        for i in candidates:
+            recurse(
+                uncovered - columns[i],
+                tuple(j for j in alive if j != i),
+                chosen + [i],
+            )
+
+    recurse(frozenset(rows), tuple(range(len(columns))), [])
+    return best
+
+
+def exact_minimize(onset: TruthTable, dc: TruthTable | None = None) -> Sop:
+    """A minimum-cube cover of ``onset`` (don't-cares usable for free)."""
+    n = onset.num_vars
+    if onset.bits == 0:
+        return Sop.zero(n)
+    primes = prime_implicants(onset, dc)
+    care_rows = list(onset.minterms())
+    columns = [
+        frozenset(m for m in p.minterms() if (onset.bits >> m) & 1) for p in primes
+    ]
+    cover = _min_cover(care_rows, columns, best_bound=len(care_rows) + 2)
+    assert cover is not None, "the primes always cover the onset"
+    return Sop(n, [primes[i] for i in sorted(cover)])
+
+
+def exact_minimize_sop(cover: Sop, dc: Sop | None = None) -> Sop:
+    """Convenience wrapper taking covers instead of truth tables."""
+    onset = cover.to_truthtable()
+    dc_table = dc.to_truthtable() if dc is not None else None
+    return exact_minimize(onset, dc_table)

@@ -1,0 +1,117 @@
+"""Implicit prime-implicant computation (Coudert--Madre meta-products).
+
+The paper's implicit machinery descends from Coudert, Madre, Fraisse, "A New
+Viewpoint on Two-Level Minimization" (DAC'93 -- the paper's reference [13]),
+where the set of *all* prime implicants of a function is represented as a
+single BDD instead of an explicit list.  This module implements that
+representation:
+
+Each input variable x_i gets two *meta-product* variables: an occurrence
+variable o_i (does x_i appear in the cube?) and a sign variable s_i (with
+which polarity?).  A cube then corresponds to one minterm over
+(o_1, s_1, .., o_n, s_n), and a *set of cubes* to a characteristic BDD.  The
+set of primes obeys the classic recursion on the top input variable:
+
+    P(f) = [~o]  * P(f0 & f1)
+         | [o s] * (P(f1) - P(f0 & f1))
+         | [o ~s]* (P(f0) - P(f0 & f1))
+
+with P(1) = all-empty-cube (product of ~o_i), P(0) = empty set.  The
+sign variable of a non-occurring literal is canonically 0.
+
+The explicit Quine--McCluskey enumeration in :mod:`repro.twolevel.exact`
+serves as the oracle in the tests; the implicit form keeps counting primes
+long after explicit enumeration becomes unreasonable (the same scalability
+story as the paper's preferable-function sets).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.satcount import satcount
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.truthtable import TruthTable
+
+
+class MetaProducts:
+    """Prime implicants of an n-variable function as a meta-product BDD."""
+
+    def __init__(self, num_vars: int) -> None:
+        self.n = num_vars
+        # function space variables 0..n-1; meta variables appended after
+        self.bdd = BDD()
+        for i in range(num_vars):
+            self.bdd.add_var(f"x{i}")
+        self.occ = []
+        self.sign = []
+        for i in range(num_vars):
+            self.occ.append(self.bdd.level(self.bdd.add_var(f"o{i}")))
+            self.sign.append(self.bdd.level(self.bdd.add_var(f"s{i}")))
+        self._memo: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def primes(self, f: int, var: int = 0) -> int:
+        """Meta-product BDD of all primes of ``f`` over variables var..n-1.
+
+        ``f`` is a node of this manager over the function-space variables.
+        """
+        bdd = self.bdd
+        if var == self.n:
+            return TRUE if f == TRUE else FALSE
+        key = (f, var)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        f0 = bdd.cofactor(f, var, False)
+        f1 = bdd.cofactor(f, var, True)
+        both = self.primes(bdd.apply_and(f0, f1), var + 1)
+        p1 = self.primes(f1, var + 1)
+        p0 = self.primes(f0, var + 1)
+        o = bdd.var(self.occ[var])
+        no = bdd.nvar(self.occ[var])
+        s = bdd.var(self.sign[var])
+        ns = bdd.nvar(self.sign[var])
+        only1 = bdd.apply_and(p1, bdd.apply_not(both))
+        only0 = bdd.apply_and(p0, bdd.apply_not(both))
+        result = bdd.disjoin(
+            [
+                bdd.conjoin([no, ns, both]),  # x_var absent (sign fixed to 0)
+                bdd.conjoin([o, s, only1]),  # positive literal
+                bdd.conjoin([o, ns, only0]),  # negative literal
+            ]
+        )
+        self._memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+
+    def primes_of_table(self, table: TruthTable) -> int:
+        """Primes of a truth table (loaded into the function space)."""
+        if table.num_vars != self.n:
+            raise ValueError("arity mismatch")
+        f = table.to_bdd(self.bdd, list(range(self.n)))
+        return self.primes(f)
+
+    def count(self, meta: int) -> int:
+        """Number of primes in a meta-product set (exact integer)."""
+        scope = [lvl for pair in zip(self.occ, self.sign) for lvl in pair]
+        return satcount(self.bdd, meta, scope)
+
+    def enumerate(self, meta: int) -> list[Cube]:
+        """Explicit cubes of a meta-product set (for tests / small sets)."""
+        scope = [lvl for pair in zip(self.occ, self.sign) for lvl in pair]
+        cubes = []
+        for model in self.bdd.iter_sat(meta, scope):
+            literals = {}
+            for i in range(self.n):
+                if model[self.occ[i]]:
+                    literals[i] = model[self.sign[i]]
+            cubes.append(Cube.from_literals(self.n, literals))
+        return sorted(set(cubes), key=lambda c: (c.num_literals(), c.care, c.value))
+
+
+def count_primes(table: TruthTable) -> int:
+    """Convenience: the number of prime implicants of ``table``, implicitly."""
+    mp = MetaProducts(table.num_vars)
+    return mp.count(mp.primes_of_table(table))

@@ -1,0 +1,99 @@
+"""Espresso for incompletely specified functions.
+
+Given an onset cover F and a don't-care cover D, :func:`espresso_dc` returns
+a cover F' with ``onset(F) - D  <=  F'  <=  F | D`` -- the classic
+exploitation of don't-cares to merge cubes.  This is the two-level engine
+behind the ``full_simplify`` pass of :mod:`repro.dontcare`: node covers are
+minimized against the BDD-computed satisfiability and observability
+don't-cares of the surrounding network.
+
+The loop is the same expand / irredundant / reduce as the completely
+specified case, with the care set threaded through:
+
+- expansion is blocked only by the *offset* ``~(F | D)``;
+- a cube is redundant when its **care** part is covered by the remaining
+  cubes together with D;
+- reduction shrinks a cube to the supercube of its uniquely covered care
+  part.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.twolevel.espresso import expand
+from repro.twolevel.tautology import complement, covers_cube, is_tautology
+
+
+def _check_arity(cover: Sop, dc: Sop) -> None:
+    if cover.num_vars != dc.num_vars:
+        raise ValueError("onset and don't-care covers must share arity")
+
+
+def irredundant_dc(cover: Sop, dc: Sop) -> Sop:
+    """Remove cubes whose care part is covered by the rest plus the DCs."""
+    _check_arity(cover, dc)
+    cubes = list(cover.cubes)
+    order = sorted(range(len(cubes)), key=lambda i: -cubes[i].num_literals())
+    keep = set(range(len(cubes)))
+    for i in order:
+        rest = Sop(cover.num_vars, [cubes[j] for j in keep if j != i] + list(dc.cubes))
+        if covers_cube(rest, cubes[i]):
+            keep.remove(i)
+    return Sop(cover.num_vars, [cubes[i] for i in sorted(keep)])
+
+
+def reduce_dc(cover: Sop, dc: Sop) -> Sop:
+    """Shrink each cube to the supercube of its uniquely covered care part."""
+    _check_arity(cover, dc)
+    n = cover.num_vars
+    cubes = list(cover.cubes)
+    out: list[Cube] = []
+    for i, cube in enumerate(cubes):
+        others = Sop(n, [c for j, c in enumerate(cubes) if j != i] + list(dc.cubes))
+        rest = complement(others.cofactor(cube))
+        if not rest.cubes:
+            out.append(cube)
+            cubes[i] = cube
+            continue
+        merged: Cube | None = None
+        for r in rest.cubes:
+            inter = cube.intersection(r)
+            if inter is None:
+                continue
+            merged = inter if merged is None else merged.supercube(inter)
+        out.append(merged if merged is not None else cube)
+        cubes[i] = out[-1]
+    return Sop(n, out)
+
+
+def espresso_dc(cover: Sop, dc: Sop, max_iterations: int = 10) -> Sop:
+    """Heuristic minimization of (onset, don't-care) covers.
+
+    The result covers every care minterm of ``cover`` and no care minterm of
+    the complement; don't-care minterms may fall on either side.
+    """
+    _check_arity(cover, dc)
+    if not cover.cubes:
+        return cover
+    combined = Sop(cover.num_vars, list(cover.cubes) + list(dc.cubes))
+    if is_tautology(combined):
+        # everything not in the offset: a single tautology cube works only if
+        # the care onset is non-empty, which it is (cover has cubes).
+        return Sop.one(cover.num_vars)
+    offset = complement(combined)
+
+    def _cost(c: Sop) -> tuple[int, int]:
+        return (len(c.cubes), c.num_literals())
+
+    best = irredundant_dc(expand(cover, offset), dc)
+    best_cost = _cost(best)
+    current = best
+    for _ in range(max_iterations):
+        current = irredundant_dc(expand(reduce_dc(current, dc), offset), dc)
+        cost = _cost(current)
+        if cost < best_cost:
+            best, best_cost = current, cost
+        else:
+            break
+    return best

@@ -1,0 +1,98 @@
+"""Unate recursive paradigm: tautology, containment, complement.
+
+The URP recursions are the workhorses of two-level minimization: a cover is
+split on its most binate variable until the subcovers are unate, where the
+questions become easy.  All functions operate on completely specified
+single-output covers (:class:`~repro.boolfunc.sop.Sop`).
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+
+
+def _literal_counts(cover: Sop) -> tuple[list[int], list[int]]:
+    """(positive, negative) literal occurrence counts per variable."""
+    pos = [0] * cover.num_vars
+    neg = [0] * cover.num_vars
+    for cube in cover.cubes:
+        for j, polarity in cube.literals().items():
+            if polarity:
+                pos[j] += 1
+            else:
+                neg[j] += 1
+    return pos, neg
+
+
+def most_binate_variable(cover: Sop) -> int | None:
+    """The variable appearing in both polarities most often; None if unate."""
+    pos, neg = _literal_counts(cover)
+    best = None
+    best_score = 0
+    for j in range(cover.num_vars):
+        if pos[j] and neg[j]:
+            score = pos[j] + neg[j]
+            if score > best_score:
+                best, best_score = j, score
+    return best
+
+
+def is_tautology(cover: Sop) -> bool:
+    """URP tautology check: does the cover contain every minterm?"""
+    # Fast exits.
+    if any(c.num_literals() == 0 for c in cover.cubes):
+        return True
+    if not cover.cubes:
+        return cover.num_vars == 0 and False
+    # A unate cover without a row of all don't-cares is not a tautology --
+    # but only when it is *component-wise* unate; check via splitting.
+    split = most_binate_variable(cover)
+    if split is None:
+        # Unate cover: tautology iff some cube has no literals (checked above).
+        # One more chance: a variable appearing in a single polarity can be
+        # removed only if... in a unate cover, tautology iff a tautology cube
+        # exists.  (Standard unate tautology property.)
+        return False
+    lo = cover.cofactor(Cube.from_literals(cover.num_vars, {split: False}))
+    hi = cover.cofactor(Cube.from_literals(cover.num_vars, {split: True}))
+    return is_tautology(lo) and is_tautology(hi)
+
+
+def covers_cube(cover: Sop, cube: Cube) -> bool:
+    """True iff every minterm of ``cube`` is covered (single-cube containment)."""
+    return is_tautology(cover.cofactor(cube))
+
+
+def complement(cover: Sop) -> Sop:
+    """URP complement of a completely specified cover."""
+    n = cover.num_vars
+    # Terminal cases.
+    if not cover.cubes:
+        return Sop.one(n)
+    if any(c.num_literals() == 0 for c in cover.cubes):
+        return Sop.zero(n)
+    if len(cover.cubes) == 1:
+        # De Morgan on a single cube.
+        out = []
+        for j, polarity in cover.cubes[0].literals().items():
+            out.append(Cube.from_literals(n, {j: not polarity}))
+        return Sop(n, out)
+    split = most_binate_variable(cover)
+    if split is None:
+        # Unate cover: split on the most frequent variable instead.
+        pos, neg = _literal_counts(cover)
+        freq = [p + q for p, q in zip(pos, neg)]
+        split = max(range(n), key=lambda j: freq[j])
+        if freq[split] == 0:
+            # No literals at all, but no tautology cube either: impossible
+            # because a literal-free cube was handled above.
+            raise AssertionError("cover with cubes but no literals")
+    lo_c = complement(cover.cofactor(Cube.from_literals(n, {split: False})))
+    hi_c = complement(cover.cofactor(Cube.from_literals(n, {split: True})))
+    out = []
+    for cube in lo_c.cubes:
+        out.append(cube.with_literal(split, False))
+    for cube in hi_c.cubes:
+        out.append(cube.with_literal(split, True))
+    return Sop(n, out).dedup()

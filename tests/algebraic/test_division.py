@@ -1,0 +1,97 @@
+"""Unit tests for weak division."""
+
+import pytest
+
+from repro.algebraic.division import (
+    algebraic_divide,
+    common_cube,
+    cube_to_literals,
+    divide_cover,
+    literals_to_cube,
+)
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+
+
+def lits(*pairs):
+    return frozenset(pairs)
+
+
+class TestConversions:
+    def test_cube_round_trip(self):
+        cube = Cube.from_string("1-0")
+        assert literals_to_cube(3, cube_to_literals(cube)) == cube
+
+
+class TestAlgebraicDivide:
+    def test_textbook_example(self):
+        # F = abc + abd + e ; D = c + d  ->  Q = ab, R = e
+        a, b, c, d, e = ((i, True) for i in range(5))
+        F = [lits(a, b, c), lits(a, b, d), lits(e)]
+        D = [lits(c), lits(d)]
+        q, r = algebraic_divide(F, D)
+        assert q == [lits(a, b)]
+        assert r == [lits(e)]
+
+    def test_multi_cube_quotient(self):
+        # F = ac + ad + bc + bd  ; D = c + d -> Q = a + b, R = 0
+        a, b, c, d = ((i, True) for i in range(4))
+        F = [lits(a, c), lits(a, d), lits(b, c), lits(b, d)]
+        D = [lits(c), lits(d)]
+        q, r = algebraic_divide(F, D)
+        assert set(q) == {lits(a), lits(b)}
+        assert r == []
+
+    def test_no_division(self):
+        a, b, c = ((i, True) for i in range(3))
+        F = [lits(a, b)]
+        D = [lits(c)]
+        q, r = algebraic_divide(F, D)
+        assert q == []
+        assert r == F
+
+    def test_empty_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            algebraic_divide([lits((0, True))], [])
+
+    def test_polarity_matters(self):
+        a_pos = (0, True)
+        a_neg = (0, False)
+        b = (1, True)
+        F = [lits(a_pos, b)]
+        D = [lits(a_neg)]
+        q, _ = algebraic_divide(F, D)
+        assert q == []
+
+
+class TestDivideCover:
+    def test_product_plus_remainder_reconstructs(self):
+        F = Sop.from_strings(5, ["110--", "11-1-", "----1"])
+        D = Sop.from_strings(5, ["--0--", "---1-"])
+        q, r = divide_cover(F, D)
+        # Q*D + R must equal F as a function
+        product_cubes = []
+        for qc in q.cubes:
+            for dc in D.cubes:
+                inter = qc.intersection(dc)
+                assert inter is not None
+                product_cubes.append(inter)
+        rebuilt = Sop(5, product_cubes + list(r.cubes))
+        assert rebuilt.to_truthtable() == F.to_truthtable()
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            divide_cover(Sop.zero(2), Sop.one(3))
+
+
+class TestCommonCube:
+    def test_common_cube(self):
+        a, b, c = ((i, True) for i in range(3))
+        assert common_cube([lits(a, b), lits(a, c)]) == lits(a)
+
+    def test_no_common(self):
+        a, b = ((i, True) for i in range(2))
+        assert common_cube([lits(a), lits(b)]) == frozenset()
+
+    def test_empty_input(self):
+        assert common_cube([]) == frozenset()

@@ -1,0 +1,61 @@
+"""Unit tests for kernel enumeration."""
+
+from repro.algebraic.kernels import all_kernels, is_cube_free, kernels_only, make_cube_free
+
+
+def lits(*pairs):
+    return frozenset(pairs)
+
+
+A, B, C, D, E = ((i, True) for i in range(5))
+
+
+class TestCubeFree:
+    def test_cube_free(self):
+        assert is_cube_free([lits(A, B), lits(C)])
+
+    def test_not_cube_free(self):
+        assert not is_cube_free([lits(A, B), lits(A, C)])
+
+    def test_empty_not_cube_free(self):
+        assert not is_cube_free([])
+
+    def test_make_cube_free(self):
+        cubes = [lits(A, B), lits(A, C)]
+        assert set(make_cube_free(cubes)) == {lits(B), lits(C)}
+
+
+class TestKernels:
+    def test_textbook_example(self):
+        # F = ace + bce + de + g  (classic MIS example)
+        G = (5, True)
+        F = [lits(A, C, E), lits(B, C, E), lits(D, E), lits(G)]
+        kernels = kernels_only(F)
+        as_sets = {frozenset(k) for k in kernels}
+        # kernels: {a+b} (co-kernel ce), {ac+bc+d} (co-kernel e), F itself
+        assert frozenset({lits(A), lits(B)}) in as_sets
+        assert frozenset({lits(A, C), lits(B, C), lits(D)}) in as_sets
+        assert frozenset(F) in as_sets
+
+    def test_single_cube_has_no_kernels(self):
+        assert all_kernels([lits(A, B, C)]) == []
+
+    def test_two_disjoint_cubes_kernel_is_self(self):
+        F = [lits(A, B), lits(C, D)]
+        kernels = kernels_only(F)
+        assert frozenset(F) in {frozenset(k) for k in kernels}
+
+    def test_cokernels_divide(self):
+        from repro.algebraic.division import algebraic_divide
+
+        F = [lits(A, C, E), lits(B, C, E), lits(D, E)]
+        for cokernel, kernel in all_kernels(F):
+            if not cokernel:
+                continue
+            q, _ = algebraic_divide(F, [cokernel])
+            assert set(kernel) <= set(q)
+
+    def test_kernels_are_cube_free(self):
+        F = [lits(A, C, E), lits(B, C, E), lits(D, E), lits(A, D)]
+        for _, kernel in all_kernels(F):
+            assert is_cube_free(list(kernel))

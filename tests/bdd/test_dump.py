@@ -1,0 +1,38 @@
+"""Unit tests for the dot exporter."""
+
+from repro.bdd.dump import to_dot
+from repro.bdd.manager import BDD, FALSE, TRUE
+
+
+def test_to_dot_contains_all_nodes_and_roots():
+    bdd = BDD()
+    x = bdd.add_var("x")
+    y = bdd.add_var("y")
+    f = bdd.apply_and(x, bdd.apply_not(y))
+    dot = to_dot(bdd, {"f": f})
+    assert "digraph bdd" in dot
+    assert 'label="x"' in dot
+    assert 'label="y"' in dot
+    assert "root_f" in dot
+    assert "node_true" in dot and "node_false" in dot
+
+
+def test_to_dot_sequence_labels():
+    bdd = BDD()
+    x = bdd.add_var("x")
+    dot = to_dot(bdd, [x, bdd.apply_not(x)])
+    assert "root_f0" in dot and "root_f1" in dot
+
+
+def test_to_dot_constant_roots():
+    bdd = BDD()
+    dot = to_dot(bdd, {"t": TRUE, "f": FALSE})
+    assert "root_t -> node_true" in dot
+    assert "root_f -> node_false" in dot
+
+
+def test_dashed_else_edges():
+    bdd = BDD()
+    x = bdd.add_var("x")
+    dot = to_dot(bdd, [x])
+    assert "[style=dashed]" in dot

@@ -1,0 +1,139 @@
+"""Unit tests for the Function wrapper."""
+
+import pytest
+
+from repro.bdd import BDD, Function
+
+
+@pytest.fixture
+def env():
+    bdd = BDD()
+    x = Function.var(bdd, "x")
+    y = Function.var(bdd, "y")
+    z = Function.var(bdd, "z")
+    return bdd, x, y, z
+
+
+class TestConstruction:
+    def test_var_reuses_existing(self, env):
+        bdd, x, _, _ = env
+        assert Function.var(bdd, "x") == x
+        assert bdd.num_vars == 3
+
+    def test_constants(self, env):
+        bdd, *_ = env
+        assert Function.true(bdd).is_true
+        assert Function.false(bdd).is_false
+
+
+class TestOperators:
+    def test_and_or_not(self, env):
+        _, x, y, _ = env
+        f = (x & y) | ~x
+        assert f(x=True, y=True)
+        assert f(x=False, y=False)
+        assert not f(x=True, y=False)
+
+    def test_xor(self, env):
+        _, x, y, _ = env
+        f = x ^ y
+        assert f(x=True, y=False)
+        assert not f(x=True, y=True)
+
+    def test_bool_coercion(self, env):
+        _, x, _, _ = env
+        assert (x & True) == x
+        assert (x & False).is_false
+        assert (x | True).is_true
+        assert (x ^ True) == ~x
+
+    def test_implies(self, env):
+        _, x, y, _ = env
+        f = x.implies(y)
+        assert f(x=False, y=False)
+        assert not f(x=True, y=False)
+
+    def test_ite(self, env):
+        _, x, y, z = env
+        f = x.ite(y, z)
+        assert f(x=True, y=True, z=False)
+        assert f(x=False, y=False, z=True)
+
+    def test_cross_manager_rejected(self, env):
+        _, x, _, _ = env
+        other = BDD()
+        w = Function.var(other, "w")
+        with pytest.raises(ValueError):
+            _ = x & w
+
+    def test_equality_with_bool(self, env):
+        _, x, _, _ = env
+        assert (x | ~x) == True  # noqa: E712 - semantic equality on purpose
+        assert (x & ~x) == False  # noqa: E712
+
+
+class TestQueries:
+    def test_support_names(self, env):
+        _, x, y, z = env
+        f = (x & y) | (x & ~y)  # collapses to x
+        assert f.support() == {"x"}
+        assert (y ^ z).support() == {"y", "z"}
+
+    def test_is_sat(self, env):
+        _, x, _, _ = env
+        assert (x | ~x).is_sat()
+        assert not (x & ~x).is_sat()
+
+    def test_size(self, env):
+        _, x, y, _ = env
+        assert (x & y).size() == 4  # two internal + two terminals
+
+    def test_count(self, env):
+        _, x, y, z = env
+        assert (x | y).count(2) == 3
+        assert (x | y).count() == 6  # over all 3 manager variables
+
+
+class TestTransforms:
+    def test_restrict(self, env):
+        _, x, y, _ = env
+        f = x & y
+        assert f.restrict(x=True) == y
+        assert f.restrict(x=False).is_false
+
+    def test_cofactor(self, env):
+        _, x, y, _ = env
+        f = x ^ y
+        assert f.cofactor("x", True) == ~y
+
+    def test_exists_forall(self, env):
+        _, x, y, _ = env
+        f = x & y
+        assert f.exists("x") == y
+        assert f.forall("x").is_false
+
+    def test_compose(self, env):
+        _, x, y, z = env
+        f = x & y
+        g = f.compose({"x": y | z})
+        assert g == ((y | z) & y)
+
+
+class TestModels:
+    def test_sat_one_names(self, env):
+        _, x, y, _ = env
+        model = (x & ~y).sat_one()
+        assert model == {"x": True, "y": False}
+
+    def test_sat_one_unsat(self, env):
+        _, x, _, _ = env
+        assert (x & ~x).sat_one() is None
+
+    def test_iter_sat(self, env):
+        _, x, y, _ = env
+        models = list((x ^ y).iter_sat(["x", "y"]))
+        assert len(models) == 2
+        assert {frozenset(m.items()) for m in models} == {
+            frozenset({("x", True), ("y", False)}),
+            frozenset({("x", False), ("y", True)}),
+        }

@@ -1,0 +1,69 @@
+"""Unit tests for BDD model counting."""
+
+import pytest
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.satcount import density, satcount
+
+
+@pytest.fixture
+def bdd4():
+    bdd = BDD()
+    lits = [bdd.add_var(n) for n in "abcd"]
+    return bdd, lits
+
+
+class TestSatcount:
+    def test_constants(self, bdd4):
+        bdd, _ = bdd4
+        assert satcount(bdd, TRUE, range(4)) == 16
+        assert satcount(bdd, FALSE, range(4)) == 0
+        assert satcount(bdd, TRUE, []) == 1
+
+    def test_single_literal(self, bdd4):
+        bdd, (a, *_ ) = bdd4
+        assert satcount(bdd, a, range(4)) == 8
+        assert satcount(bdd, a, [0]) == 1
+
+    def test_and_or(self, bdd4):
+        bdd, (a, b, c, d) = bdd4
+        assert satcount(bdd, bdd.apply_and(a, b), range(4)) == 4
+        assert satcount(bdd, bdd.apply_or(a, b), range(4)) == 12
+
+    def test_parity(self, bdd4):
+        bdd, lits = bdd4
+        f = FALSE
+        for lit in lits:
+            f = bdd.apply_xor(f, lit)
+        assert satcount(bdd, f, range(4)) == 8
+
+    def test_skipped_levels(self, bdd4):
+        bdd, (a, _, c, _) = bdd4
+        # a & c skips level 1; models over {0,1,2,3} = 4
+        f = bdd.apply_and(a, c)
+        assert satcount(bdd, f, range(4)) == 4
+
+    def test_scope_must_cover_support(self, bdd4):
+        bdd, (a, b, *_ ) = bdd4
+        with pytest.raises(ValueError):
+            satcount(bdd, bdd.apply_and(a, b), [0])
+
+    def test_matches_exhaustive_enumeration(self, bdd4):
+        bdd, (a, b, c, d) = bdd4
+        f = bdd.apply_or(bdd.apply_and(a, bdd.apply_not(c)), bdd.apply_xor(b, d))
+        explicit = sum(
+            1
+            for row in range(16)
+            if bdd.eval(f, {i: bool((row >> i) & 1) for i in range(4)})
+        )
+        assert satcount(bdd, f, range(4)) == explicit
+
+
+class TestDensity:
+    def test_density_half(self, bdd4):
+        bdd, (a, *_ ) = bdd4
+        assert density(bdd, a, range(4)) == 0.5
+
+    def test_density_true(self, bdd4):
+        bdd, _ = bdd4
+        assert density(bdd, TRUE, range(4)) == 1.0

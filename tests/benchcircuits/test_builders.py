@@ -1,0 +1,174 @@
+"""Unit tests for the structural circuit builders."""
+
+import pytest
+
+from repro.benchcircuits.builders import (
+    and2,
+    decoder,
+    full_adder,
+    gate,
+    half_adder,
+    incrementer,
+    mux2,
+    not1,
+    or2,
+    or_tree,
+    popcount,
+    ripple_adder,
+    xor2,
+    xor_tree,
+)
+from repro.network.network import Network
+
+
+def eval_net(net, outputs, **inputs):
+    values = net.evaluate({name: bool(v) for name, v in inputs.items()})
+    return [values[o] for o in outputs]
+
+
+@pytest.fixture
+def net2():
+    net = Network("b")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_input("c")
+    return net
+
+
+class TestPrimitiveGates:
+    def test_basic_gates(self, net2):
+        sigs = {
+            "and": and2(net2, "a", "b"),
+            "or": or2(net2, "a", "b"),
+            "xor": xor2(net2, "a", "b"),
+            "not": not1(net2, "a"),
+        }
+        net2.set_outputs(list(sigs.values()))
+        for a in (0, 1):
+            for b in (0, 1):
+                vals = net2.evaluate({"a": bool(a), "b": bool(b), "c": False})
+                assert vals[sigs["and"]] == bool(a and b)
+                assert vals[sigs["or"]] == bool(a or b)
+                assert vals[sigs["xor"]] == bool(a != b)
+                assert vals[sigs["not"]] == (not a)
+
+    def test_mux(self, net2):
+        y = mux2(net2, "a", "b", "c")  # a ? c : b
+        net2.set_outputs([y])
+        assert eval_net(net2, [y], a=1, b=0, c=1) == [True]
+        assert eval_net(net2, [y], a=0, b=1, c=0) == [True]
+        assert eval_net(net2, [y], a=0, b=0, c=1) == [False]
+
+
+class TestTrees:
+    def test_xor_tree_is_parity(self):
+        net = Network("x")
+        sigs = [net.add_input(f"x{i}") for i in range(7)]
+        root = xor_tree(net, sigs)
+        net.set_outputs([root])
+        for row in (0, 1, 0b1010101, 0b1111111):
+            env = {f"x{i}": bool((row >> i) & 1) for i in range(7)}
+            assert net.evaluate(env)[root] == (bin(row).count("1") % 2 == 1)
+
+    def test_or_tree(self):
+        net = Network("o")
+        sigs = [net.add_input(f"x{i}") for i in range(5)]
+        root = or_tree(net, sigs)
+        net.set_outputs([root])
+        assert not net.evaluate({f"x{i}": False for i in range(5)})[root]
+        env = {f"x{i}": i == 3 for i in range(5)}
+        assert net.evaluate(env)[root]
+
+    def test_trees_reject_empty(self):
+        net = Network("e")
+        with pytest.raises(ValueError):
+            xor_tree(net, [])
+        with pytest.raises(ValueError):
+            or_tree(net, [])
+
+
+class TestAdders:
+    def test_half_and_full_adder(self, net2):
+        s1, c1 = half_adder(net2, "a", "b")
+        s2, c2 = full_adder(net2, "a", "b", "c")
+        net2.set_outputs([s1, c1, s2, c2])
+        for row in range(8):
+            a, b, c = bool(row & 1), bool(row & 2), bool(row & 4)
+            vals = net2.evaluate({"a": a, "b": b, "c": c})
+            assert vals[s1] == ((a + b) % 2 == 1)
+            assert vals[c1] == (a + b == 2)
+            assert vals[s2] == ((a + b + c) % 2 == 1)
+            assert vals[c2] == (a + b + c >= 2)
+
+    def test_ripple_adder(self):
+        net = Network("add")
+        a = [net.add_input(f"a{i}") for i in range(3)]
+        b = [net.add_input(f"b{i}") for i in range(3)]
+        sums, cout = ripple_adder(net, a, b)
+        net.set_outputs(sums + [cout])
+        for x in range(8):
+            for y in range(8):
+                env = {f"a{i}": bool((x >> i) & 1) for i in range(3)}
+                env.update({f"b{i}": bool((y >> i) & 1) for i in range(3)})
+                vals = net.evaluate(env)
+                got = sum(1 << i for i, s in enumerate(sums) if vals[s])
+                got += 8 if vals[cout] else 0
+                assert got == x + y
+
+    def test_ripple_adder_width_check(self):
+        net = Network("w")
+        a = [net.add_input("a0")]
+        with pytest.raises(ValueError):
+            ripple_adder(net, a, [])
+
+    def test_incrementer(self):
+        net = Network("inc")
+        bits = [net.add_input(f"v{i}") for i in range(4)]
+        cin = net.add_input("ci")
+        sums, cout = incrementer(net, bits, cin)
+        net.set_outputs(sums + [cout])
+        for x in range(16):
+            for carry in (0, 1):
+                env = {f"v{i}": bool((x >> i) & 1) for i in range(4)}
+                env["ci"] = bool(carry)
+                vals = net.evaluate(env)
+                got = sum(1 << i for i, s in enumerate(sums) if vals[s])
+                got += 16 if vals[cout] else 0
+                assert got == x + carry
+
+
+class TestPopcountDecoder:
+    def test_popcount(self):
+        net = Network("pc")
+        sigs = [net.add_input(f"x{i}") for i in range(6)]
+        bits = popcount(net, sigs)
+        net.set_outputs(bits)
+        for row in range(64):
+            env = {f"x{i}": bool((row >> i) & 1) for i in range(6)}
+            vals = net.evaluate(env)
+            got = sum(1 << i for i, b in enumerate(bits) if vals[b])
+            assert got == bin(row).count("1")
+
+    def test_popcount_rejects_empty(self):
+        with pytest.raises(ValueError):
+            popcount(Network("e"), [])
+
+    def test_decoder_one_hot(self):
+        net = Network("dec")
+        sel = [net.add_input(f"s{i}") for i in range(3)]
+        outs = decoder(net, sel)
+        net.set_outputs(outs)
+        assert len(outs) == 8
+        for value in range(8):
+            env = {f"s{i}": bool((value >> i) & 1) for i in range(3)}
+            vals = net.evaluate(env)
+            assert [vals[o] for o in outs] == [i == value for i in range(8)]
+
+    def test_gate_helper(self):
+        net = Network("g")
+        net.add_input("a")
+        net.add_input("b")
+        y = gate(net, ["10", "01"], ["a", "b"], prefix="q")
+        assert y.startswith("q")
+        net.set_outputs([y])
+        assert net.evaluate({"a": True, "b": False})[y]

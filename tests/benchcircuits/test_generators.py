@@ -1,0 +1,189 @@
+"""Unit tests for benchmark circuit generators."""
+
+import pytest
+
+from repro.benchcircuits import arith, control, symmetric, synthetic
+from repro.benchcircuits.alu import alu2_syn, c880_syn
+from repro.benchcircuits.registry import get_circuit, list_circuits
+
+
+class TestRdFamily:
+    @pytest.mark.parametrize("n,bits", [(5, 3), (7, 3), (8, 4)])
+    def test_rd_is_ones_count(self, n, bits):
+        net = arith.rd(n)
+        assert len(net.inputs) == n and len(net.outputs) == bits
+        for row in (0, 1, (1 << n) - 1, 0b10101 & ((1 << n) - 1)):
+            env = {f"x{i}": bool((row >> i) & 1) for i in range(n)}
+            out = net.evaluate_outputs(env)
+            count = bin(row).count("1")
+            for b in range(bits):
+                assert out[f"f{b}"] == bool((count >> b) & 1)
+
+
+class TestArithSynthetics:
+    def test_z4ml_is_three_operand_sum(self):
+        net = arith.z4ml_syn()
+        env = {f"x{i}": False for i in range(7)}
+        env["x1"] = True  # a = 2
+        env["x2"] = True  # b = 1
+        env["x6"] = True  # c = 4
+        out = net.evaluate_outputs(env)
+        total = 2 + 1 + 4
+        for b in range(4):
+            assert out[f"f{b}"] == bool((total >> b) & 1)
+
+    def test_f51m_is_adder_pair(self):
+        net = arith.f51m_syn()
+        # a = 5, c = 9 -> sum 14, sum+1 = 15
+        env = {f"x{i}": bool((5 >> i) & 1) for i in range(4)}
+        env.update({f"x{4+i}": bool((9 >> i) & 1) for i in range(4)})
+        out = net.evaluate_outputs(env)
+        for b in range(5):
+            assert out[f"f{b}"] == bool((14 >> b) & 1)
+        for b in range(3):
+            assert out[f"f{5+b}"] == bool((15 >> b) & 1)
+
+    def test_5xp1_is_5x_plus_1(self):
+        net = arith.fivexp1_syn()
+        for value in (0, 1, 63, 127):
+            env = {f"x{i}": bool((value >> i) & 1) for i in range(7)}
+            out = net.evaluate_outputs(env)
+            expected = 5 * value + 1
+            for b in range(10):
+                assert out[f"f{b}"] == bool((expected >> b) & 1)
+
+    def test_clip_saturates(self):
+        net = arith.clip_syn()
+
+        def run(value):
+            raw = value & 0x1FF
+            env = {f"x{i}": bool((raw >> i) & 1) for i in range(9)}
+            out = net.evaluate_outputs(env)
+            bits = sum((1 << b) for b in range(5) if out[f"f{b}"])
+            return bits - 32 if bits >= 16 else bits  # 5-bit two's complement
+
+        assert run(100) == 15  # positive saturation
+        assert run(-200) == -16  # negative saturation
+        assert run(7) == 7  # passthrough
+
+
+class TestSymmetric:
+    def test_9sym_band(self):
+        net = symmetric.sym9()
+        for ones in range(10):
+            row = (1 << ones) - 1
+            env = {f"x{i}": bool((row >> i) & 1) for i in range(9)}
+            assert net.evaluate_outputs(env)["f0"] == (3 <= ones <= 6)
+
+    def test_parity(self):
+        net = symmetric.parity(6)
+        env = {f"x{i}": i in (0, 3, 4) for i in range(6)}
+        assert net.evaluate_outputs(env)["f0"] is True
+
+
+class TestAlu:
+    def test_alu2_operations(self):
+        net = alu2_syn()
+
+        def run(a, b, op):
+            env = {f"x{i}": bool((a >> i) & 1) for i in range(4)}
+            env.update({f"x{4+i}": bool((b >> i) & 1) for i in range(4)})
+            env["x8"] = bool(op & 1)
+            env["x9"] = bool(op & 2)
+            out = net.evaluate_outputs(env)
+            result = sum((1 << i) for i in range(4) if out[f"f{i}"])
+            return result, out["f4"], out["f5"]
+
+        assert run(3, 5, 0) == (8, False, False)  # add
+        assert run(15, 1, 0) == (0, True, True)  # add w/ carry, zero
+        assert run(12, 10, 1)[0] == 8  # and
+        assert run(12, 10, 2)[0] == 14  # or
+        assert run(12, 10, 3)[0] == 6  # xor
+
+    def test_c880_shape_and_determinism(self):
+        net = c880_syn()
+        assert len(net.inputs) == 60 and len(net.outputs) == 26
+        env = {name: (i % 3 == 0) for i, name in enumerate(net.inputs)}
+        first = net.evaluate_outputs(env)
+        assert c880_syn().evaluate_outputs(env) == first
+
+
+class TestControl:
+    def test_count_increments_when_enabled(self):
+        net = control.count_syn()
+        env = {f"v{i}": bool((41 >> i) & 1) for i in range(16)}
+        env.update({f"e{i}": False for i in range(19)})
+        out = net.evaluate_outputs(env)
+        assert sum((1 << i) for i in range(16) if out[f"fas{0}" if False else net.outputs[i]] ) >= 0
+        # disabled: passthrough
+        value = sum((1 << i) for i in range(16) if out[net.outputs[i]])
+        assert value == 41
+        env["e7"] = True
+        out = net.evaluate_outputs(env)
+        value = sum((1 << i) for i in range(16) if out[net.outputs[i]])
+        assert value == 42
+
+    def test_e64_window_xor(self):
+        net = control.e64_syn()
+        assert len(net.inputs) == 65 and len(net.outputs) == 65
+        env = {f"x{i}": i == 3 for i in range(65)}
+        out = net.evaluate_outputs(env)
+        # output i covers window i..i+7; only x3 is set
+        assert out[net.outputs[0]] is True
+        assert out[net.outputs[3]] is True
+        assert out[net.outputs[4]] is False
+
+
+class TestSynthetic:
+    def test_structured_pla_deterministic(self):
+        a = synthetic.structured_pla("t", 12, 6, seed=5)
+        b = synthetic.structured_pla("t", 12, 6, seed=5)
+        env = {f"x{i}": i % 2 == 0 for i in range(12)}
+        assert a.evaluate_outputs(env) == b.evaluate_outputs(env)
+
+    def test_structured_pla_outputs_share_cubes(self):
+        net = synthetic.structured_pla("t", 12, 8, seed=5, pool_size=10)
+        all_cubes = [frozenset(c.literals().items()) for name in net.outputs
+                     for c in net.nodes[name].cover.cubes]
+        assert len(all_cubes) > len(set(all_cubes))  # some cube reused
+
+    def test_layered_circuit_shape(self):
+        net = synthetic.layered_circuit("t", 20, 10, seed=3, depth=3)
+        assert len(net.inputs) == 20
+        assert len(net.outputs) == 10
+        assert len(set(net.outputs)) == 10
+        net.topological_order()  # acyclic
+
+    def test_c499_corrects_single_bit(self):
+        net = synthetic.c499_syn()
+        assert len(net.inputs) == 41 and len(net.outputs) == 32
+        # all-zero data with zero checks: syndrome 0 -> output = data ^ hit0
+        env = {name: False for name in net.inputs}
+        out = net.evaluate_outputs(env)
+        # with enable off, outputs are the data bits
+        assert all(out[sig] is False for sig in net.outputs)
+
+
+class TestRegistry:
+    def test_all_rows_present(self):
+        names = {c.name for c in list_circuits()}
+        expected = {
+            "5xp1", "9sym", "alu2", "alu4", "apex6", "apex7", "clip", "count",
+            "des", "duke2", "e64", "f51m", "misex1", "misex2", "rd53", "rd73",
+            "rd84", "rot", "sao2", "term1", "vg2", "z4ml", "C499", "C880", "C5315",
+        }
+        assert names == expected
+
+    def test_io_counts_validated_on_build(self):
+        for circuit in list_circuits():
+            if circuit.num_inputs <= 70:  # keep the test fast
+                net = circuit.build()
+                assert len(net.inputs) == circuit.num_inputs
+
+    def test_starred_circuits_marked(self):
+        starred = {c.name for c in list_circuits(collapsible=False)}
+        assert starred == {"des", "rot", "C499", "C880", "C5315"}
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            get_circuit("nope")

@@ -1,0 +1,115 @@
+"""Unit tests for the generic circuit library."""
+
+import pytest
+
+from repro.benchcircuits.library import (
+    adder,
+    barrel_shifter,
+    comparator,
+    gray_encoder,
+    multiplier,
+    priority_encoder,
+)
+
+
+def run(net, **inputs):
+    return net.evaluate({k: bool(v) for k, v in inputs.items()})
+
+
+def bits_to_int(values, signals):
+    return sum(1 << i for i, s in enumerate(signals) if values[s])
+
+
+class TestAdder:
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_exhaustive(self, width):
+        net = adder(width)
+        for x in range(1 << width):
+            for y in range(1 << width):
+                env = {f"a{i}": (x >> i) & 1 for i in range(width)}
+                env.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+                vals = run(net, **env)
+                assert bits_to_int(vals, net.outputs) == x + y
+
+    def test_carry_in(self):
+        net = adder(3, with_cin=True)
+        env = {f"a{i}": (5 >> i) & 1 for i in range(3)}
+        env.update({f"b{i}": (3 >> i) & 1 for i in range(3)})
+        env["cin"] = 1
+        assert bits_to_int(run(net, **env), net.outputs) == 9
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_exhaustive(self, width):
+        net = multiplier(width)
+        assert len(net.outputs) == 2 * width
+        for x in range(1 << width):
+            for y in range(1 << width):
+                env = {f"a{i}": (x >> i) & 1 for i in range(width)}
+                env.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+                vals = run(net, **env)
+                assert bits_to_int(vals, net.outputs) == x * y
+
+
+class TestComparator:
+    def test_exhaustive_3bit(self):
+        net = comparator(3)
+        lt, eq, gt = net.outputs
+        for x in range(8):
+            for y in range(8):
+                env = {f"a{i}": (x >> i) & 1 for i in range(3)}
+                env.update({f"b{i}": (y >> i) & 1 for i in range(3)})
+                vals = run(net, **env)
+                assert vals[lt] == (x < y)
+                assert vals[eq] == (x == y)
+                assert vals[gt] == (x > y)
+
+
+class TestGray:
+    def test_gray_code(self):
+        net = gray_encoder(4)
+        for x in range(16):
+            env = {f"b{i}": (x >> i) & 1 for i in range(4)}
+            vals = run(net, **env)
+            assert bits_to_int(vals, net.outputs) == x ^ (x >> 1)
+
+
+class TestPriorityEncoder:
+    def test_highest_wins(self):
+        net = priority_encoder(5)
+        outs, valid = net.outputs[:-1], net.outputs[-1]
+        for row in range(32):
+            env = {f"r{i}": (row >> i) & 1 for i in range(5)}
+            vals = run(net, **env)
+            expected_hot = row.bit_length() - 1 if row else None
+            for i, o in enumerate(outs):
+                assert vals[o] == (i == expected_hot)
+            assert vals[valid] == (row != 0)
+
+
+class TestBarrelShifter:
+    def test_shifts(self):
+        net = barrel_shifter(8)
+        for value in (0b10110001, 0b00000001):
+            for amount in range(8):
+                env = {f"d{i}": (value >> i) & 1 for i in range(8)}
+                env.update({f"s{i}": (amount >> i) & 1 for i in range(3)})
+                vals = run(net, **env)
+                assert bits_to_int(vals, net.outputs) == (value << amount) & 0xFF
+
+
+class TestLibraryThroughFlow:
+    def test_adder_maps_and_shares(self):
+        from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+
+        net = adder(3)
+        multi = synthesize(net, FlowConfig(k=5, mode="multi"))
+        assert verify_flow(net, multi)
+
+    def test_comparator_maps(self):
+        from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+
+        net = comparator(4)
+        result = synthesize(net, FlowConfig(k=5, mode="multi"))
+        assert verify_flow(net, result)

@@ -1,0 +1,98 @@
+"""Unit tests for cubes."""
+
+import pytest
+
+from repro.boolfunc.cube import Cube
+
+
+class TestConstruction:
+    def test_from_string(self):
+        c = Cube.from_string("1-0")
+        assert c.literals() == {0: True, 2: False}
+        assert str(c) == "1-0"
+
+    def test_from_string_accepts_2_as_dash(self):
+        assert Cube.from_string("12") == Cube.from_string("1-")
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_tautology(self):
+        c = Cube.tautology(3)
+        assert c.num_literals() == 0
+        assert all(c.contains_minterm(r) for r in range(8))
+
+    def test_from_minterm(self):
+        c = Cube.from_minterm(3, 5)
+        assert c.contains_minterm(5)
+        assert c.size() == 1
+
+    def test_from_literals_range_check(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, {2: True})
+
+    def test_value_masked_to_care(self):
+        c = Cube(3, 0b001, 0b111)
+        assert c.value == 0b001
+
+
+class TestCoverage:
+    def test_contains_minterm(self):
+        c = Cube.from_string("1-0")
+        assert c.contains_minterm(0b001)
+        assert c.contains_minterm(0b011)
+        assert not c.contains_minterm(0b101)
+
+    def test_covers(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(big)
+
+    def test_covers_requires_polarity_match(self):
+        assert not Cube.from_string("1--").covers(Cube.from_string("0--"))
+
+    def test_minterms_enumeration(self):
+        c = Cube.from_string("1-0")
+        assert sorted(c.minterms()) == [0b001, 0b011]
+        assert c.size() == 2
+
+
+class TestIntersection:
+    def test_intersects(self):
+        assert Cube.from_string("1--").intersects(Cube.from_string("-0-"))
+        assert not Cube.from_string("1--").intersects(Cube.from_string("0--"))
+
+    def test_intersection_product(self):
+        c = Cube.from_string("1--").intersection(Cube.from_string("-01"))
+        assert c == Cube.from_string("101")
+
+    def test_intersection_disjoint_none(self):
+        assert Cube.from_string("1--").intersection(Cube.from_string("0--")) is None
+
+    def test_supercube(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("111")
+        assert a.supercube(b) == Cube.from_string("1-1")
+
+    def test_distance(self):
+        assert Cube.from_string("10-").distance(Cube.from_string("01-")) == 2
+        assert Cube.from_string("1--").distance(Cube.from_string("-0-")) == 0
+
+
+class TestTransforms:
+    def test_without(self):
+        assert Cube.from_string("110").without(1) == Cube.from_string("1-0")
+
+    def test_with_literal(self):
+        assert Cube.from_string("1--").with_literal(2, False) == Cube.from_string("1-0")
+
+    def test_cofactor(self):
+        # (x0 & ~x2) cofactored by x0 -> ~x2
+        c = Cube.from_string("1-0").cofactor(Cube.from_string("1--"))
+        assert c == Cube.from_string("--0")
+
+    def test_cofactor_disjoint_none(self):
+        assert Cube.from_string("1--").cofactor(Cube.from_string("0--")) is None

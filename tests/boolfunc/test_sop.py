@@ -1,0 +1,94 @@
+"""Unit tests for SOP covers."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+
+
+class TestConstruction:
+    def test_zero_one(self):
+        assert not Sop.zero(3).evaluate(5)
+        assert Sop.one(3).evaluate(5)
+
+    def test_from_strings(self):
+        s = Sop.from_strings(3, ["1-0", "01-"])
+        assert len(s) == 2
+        assert s(1, 1, 0)
+        assert s(0, 1, 1)
+        assert not s(0, 0, 1)
+
+    def test_from_strings_length_check(self):
+        with pytest.raises(ValueError):
+            Sop.from_strings(3, ["1-"])
+
+    def test_cube_arity_check(self):
+        with pytest.raises(ValueError):
+            Sop(3, [Cube.tautology(2)])
+
+    def test_from_truthtable(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a and not c)
+        s = Sop.from_truthtable(t)
+        assert s.to_truthtable() == t
+
+
+class TestSemantics:
+    def test_round_trip_random(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            s = Sop.random(4, 5, rng)
+            t = s.to_truthtable()
+            for row in range(16):
+                assert s.evaluate(row) == t[row]
+
+    def test_or(self):
+        a = Sop.from_strings(2, ["1-"])
+        b = Sop.from_strings(2, ["-1"])
+        assert (a | b).to_truthtable() == TruthTable.from_function(2, lambda x, y: x or y)
+
+    def test_or_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Sop.zero(2) | Sop.zero(3)
+
+    def test_cofactor(self):
+        s = Sop.from_strings(3, ["1-0", "-11"])
+        cf = s.cofactor(Cube.from_string("1--"))
+        expected = s.to_truthtable().cofactor(0, True)
+        # compare over remaining variables: cofactor keeps arity, vacuous in x0
+        t = cf.to_truthtable()
+        for row in range(8):
+            assert t[row] == expected[(row >> 1)]
+
+    def test_num_literals(self):
+        s = Sop.from_strings(3, ["1-0", "111"])
+        assert s.num_literals() == 5
+
+
+class TestDedup:
+    def test_removes_duplicates_and_contained(self):
+        s = Sop.from_strings(3, ["1--", "1--", "1-0", "01-"])
+        d = s.dedup()
+        assert len(d) == 2
+        assert d.to_truthtable() == s.to_truthtable()
+
+
+class TestToBdd:
+    def test_matches_truthtable(self):
+        rng = random.Random(9)
+        bdd = BDD()
+        for i in range(4):
+            bdd.add_var(f"x{i}")
+        for _ in range(10):
+            s = Sop.random(4, 4, rng)
+            node = s.to_bdd(bdd, [0, 1, 2, 3])
+            assert TruthTable.from_bdd(bdd, node, [0, 1, 2, 3]) == s.to_truthtable()
+
+    def test_level_count_check(self):
+        bdd = BDD()
+        bdd.add_var("a")
+        with pytest.raises(ValueError):
+            Sop.zero(2).to_bdd(bdd, [0])

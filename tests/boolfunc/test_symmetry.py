@@ -1,0 +1,44 @@
+"""Unit tests for symmetry detection."""
+
+from repro.boolfunc.symmetry import are_symmetric, is_totally_symmetric, symmetry_classes
+from repro.boolfunc.truthtable import TruthTable
+
+
+def majority3():
+    return TruthTable.from_function(3, lambda a, b, c: a + b + c >= 2)
+
+
+class TestPairwise:
+    def test_majority_symmetric_pairs(self):
+        maj = majority3()
+        assert are_symmetric(maj, 0, 1)
+        assert are_symmetric(maj, 1, 2)
+        assert are_symmetric(maj, 0, 0)
+
+    def test_asymmetric_pair(self):
+        f = TruthTable.from_function(3, lambda a, b, c: a and not b)
+        assert not are_symmetric(f, 0, 1)
+        assert are_symmetric(f, 2, 2)
+
+
+class TestClasses:
+    def test_total_symmetry(self):
+        maj = majority3()
+        assert symmetry_classes(maj) == [{0, 1, 2}]
+        assert is_totally_symmetric(maj)
+
+    def test_partial_symmetry(self):
+        # f = (a & b) | c : a,b symmetric, c alone
+        f = TruthTable.from_function(3, lambda a, b, c: (a and b) or c)
+        assert symmetry_classes(f) == [{0, 1}, {2}]
+        assert not is_totally_symmetric(f)
+
+    def test_no_symmetry(self):
+        f = TruthTable.from_function(3, lambda a, b, c: a and not b and (a or c))
+        classes = symmetry_classes(f)
+        assert all(len(cls) == 1 for cls in classes)
+
+    def test_ones_count_band_symmetric(self):
+        # the 9sym-style band function on 5 vars: 1 iff 2 <= popcount <= 3
+        f = TruthTable.from_function(5, lambda *xs: 2 <= sum(xs) <= 3)
+        assert is_totally_symmetric(f)

@@ -1,0 +1,163 @@
+"""Unit tests for bit-packed truth tables."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+
+
+class TestConstruction:
+    def test_constant(self):
+        one = TruthTable.constant(3, True)
+        zero = TruthTable.constant(3, False)
+        assert one.bits == 0xFF and zero.bits == 0
+        assert one.is_constant and zero.is_constant
+
+    def test_variable_projection(self):
+        x1 = TruthTable.variable(3, 1)
+        for row in range(8):
+            assert x1[row] == bool((row >> 1) & 1)
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(3, 3)
+
+    def test_from_function(self):
+        maj = TruthTable.from_function(3, lambda a, b, c: a + b + c >= 2)
+        assert maj(1, 1, 0) and maj(0, 1, 1) and not maj(1, 0, 0)
+
+    def test_from_rows(self):
+        t = TruthTable.from_rows([0, 1, 1, 0])
+        assert t.num_vars == 2
+        assert t(1, 0) and t(0, 1) and not t(0, 0)
+
+    def test_from_rows_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_rows([0, 1, 1])
+
+    def test_from_minterms(self):
+        t = TruthTable.from_minterms(3, [0, 7])
+        assert t(0, 0, 0) and t(1, 1, 1) and not t(1, 0, 0)
+
+    def test_from_minterms_range_check(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms(2, [4])
+
+    def test_bits_masked(self):
+        t = TruthTable(2, 0xFFFF)
+        assert t.bits == 0xF
+
+
+class TestQueries:
+    def test_onset_and_minterms(self):
+        t = TruthTable.from_minterms(3, [1, 4, 6])
+        assert t.onset_size() == 3
+        assert sorted(t.minterms()) == [1, 4, 6]
+
+    def test_support_detects_vacuous_variable(self):
+        # f = x0 regardless of x1
+        t = TruthTable.from_function(2, lambda a, b: a)
+        assert t.support() == {0}
+        assert t.depends_on(0) and not t.depends_on(1)
+
+    def test_call_arity_check(self):
+        t = TruthTable.constant(2, True)
+        with pytest.raises(ValueError):
+            t(1)
+
+    def test_getitem_range(self):
+        t = TruthTable.constant(2, True)
+        with pytest.raises(IndexError):
+            t[4]
+
+
+class TestAlgebra:
+    def test_ops_match_python(self):
+        rng = random.Random(7)
+        a = TruthTable.random(4, rng)
+        b = TruthTable.random(4, rng)
+        for row in range(16):
+            assert (a & b)[row] == (a[row] and b[row])
+            assert (a | b)[row] == (a[row] or b[row])
+            assert (a ^ b)[row] == (a[row] != b[row])
+            assert (~a)[row] == (not a[row])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, True) & TruthTable.constant(3, True)
+
+
+class TestStructural:
+    def test_cofactor_shrinks(self):
+        maj = TruthTable.from_function(3, lambda a, b, c: a + b + c >= 2)
+        pos = maj.cofactor(0, True)
+        assert pos.num_vars == 2
+        # maj with a=1 is b | c
+        assert pos == TruthTable.from_function(2, lambda b, c: b or c)
+
+    def test_cofactor_index_check(self):
+        t = TruthTable.constant(2, True)
+        with pytest.raises(ValueError):
+            t.cofactor(2, True)
+
+    def test_restrict_two_vars(self):
+        f = TruthTable.from_function(3, lambda a, b, c: (a and b) or c)
+        g = f.restrict({0: True, 2: False})
+        assert g == TruthTable.from_function(1, lambda b: b)
+
+    def test_permute_swap(self):
+        f = TruthTable.from_function(3, lambda a, b, c: a and not c)
+        g = f.permute([2, 1, 0])
+        assert g == TruthTable.from_function(3, lambda a, b, c: c and not a)
+
+    def test_permute_validates(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, True).permute([0, 0])
+
+    def test_extend(self):
+        f = TruthTable.from_function(2, lambda a, b: a ^ b)
+        g = f.extend(4)
+        assert g.num_vars == 4
+        assert g.support() == {0, 1}
+        for row in range(16):
+            assert g[row] == f[row & 3]
+
+    def test_extend_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(3, True).extend(2)
+
+    def test_compose(self):
+        # outer(u, v) = u & v; inner u = a|b, v = a^b  ->  (a|b)&(a^b) = a^b
+        outer = TruthTable.from_function(2, lambda u, v: u and v)
+        inner = [
+            TruthTable.from_function(2, lambda a, b: a or b),
+            TruthTable.from_function(2, lambda a, b: a != b),
+        ]
+        assert outer.compose(inner) == TruthTable.from_function(2, lambda a, b: a != b)
+
+    def test_compose_arity_checks(self):
+        outer = TruthTable.constant(2, True)
+        with pytest.raises(ValueError):
+            outer.compose([TruthTable.constant(2, True)])
+        with pytest.raises(ValueError):
+            outer.compose([TruthTable.constant(2, True), TruthTable.constant(3, True)])
+
+
+class TestBddRoundTrip:
+    def test_round_trip_random(self):
+        rng = random.Random(11)
+        bdd = BDD()
+        levels = [bdd.add_var(f"x{i}") and i for i in range(4)]
+        for _ in range(10):
+            t = TruthTable.random(4, rng)
+            node = t.to_bdd(bdd, [0, 1, 2, 3])
+            back = TruthTable.from_bdd(bdd, node, [0, 1, 2, 3])
+            assert back == t
+
+    def test_to_bdd_level_count_check(self):
+        bdd = BDD()
+        bdd.add_var("a")
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, True).to_bdd(bdd, [0])

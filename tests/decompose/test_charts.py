@@ -1,0 +1,39 @@
+"""Unit tests for decomposition charts."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.charts import DecompositionChart
+from repro.decompose.compat import local_partition
+
+
+class TestChart:
+    def test_column_multiplicity_matches_implicit(self):
+        rng = random.Random(13)
+        for _ in range(10):
+            t = TruthTable.random(5, rng)
+            chart = DecompositionChart(t, [0, 1, 2])
+            bdd = BDD()
+            for i in range(5):
+                bdd.add_var(f"x{i}")
+            f = t.to_bdd(bdd, list(range(5)))
+            part = local_partition(bdd, f, [0, 1, 2])
+            assert chart.column_multiplicity() == part.num_blocks
+            assert chart.partition() == part
+
+    def test_rejects_bad_bound_set(self):
+        t = TruthTable.constant(3, False)
+        with pytest.raises(ValueError):
+            DecompositionChart(t, [0, 0])
+        with pytest.raises(ValueError):
+            DecompositionChart(t, [0, 5])
+
+    def test_render_shape(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a and (b or c))
+        chart = DecompositionChart(t, [0, 1])
+        text = chart.render()
+        lines = text.splitlines()
+        assert len(lines) == 1 + 2  # header + 2 free-set rows

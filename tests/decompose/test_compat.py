@@ -1,0 +1,109 @@
+"""Unit tests for local compatibility partitions and codewidth."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.compat import (
+    codewidth,
+    cofactor_map,
+    column_multiplicity,
+    local_partition,
+    local_partition_tt,
+    vertex_assignment,
+)
+
+
+def build(table: TruthTable):
+    bdd = BDD()
+    levels = []
+    for i in range(table.num_vars):
+        bdd.add_var(f"x{i}")
+        levels.append(i)
+    return bdd, table.to_bdd(bdd, levels)
+
+
+class TestVertexAssignment:
+    def test_bit_convention(self):
+        assert vertex_assignment([4, 7, 9], 0b101) == {4: True, 7: False, 9: True}
+
+
+class TestLocalPartition:
+    def test_xor_has_two_classes(self):
+        # f = (x0 ^ x1) ^ x2 with BS = {x0, x1}: columns repeat pattern -> 2 classes
+        t = TruthTable.from_function(3, lambda a, b, c: (a != b) != c)
+        bdd, f = build(t)
+        part = local_partition(bdd, f, [0, 1])
+        assert part.num_blocks == 2
+        # vertices 00 and 11 compatible; 01 and 10 compatible
+        assert part.block_of(0b00) == part.block_of(0b11)
+        assert part.block_of(0b01) == part.block_of(0b10)
+
+    def test_constant_single_class(self):
+        t = TruthTable.constant(4, True)
+        bdd, f = build(t)
+        assert local_partition(bdd, f, [0, 1, 2]).num_blocks == 1
+
+    def test_mux_partition(self):
+        # f = s ? a : b, BS = {a, b} (vars 0, 1), FS = {s}
+        t = TruthTable.from_function(3, lambda a, b, s: a if s else b)
+        bdd, f = build(t)
+        part = local_partition(bdd, f, [0, 1])
+        # columns: (a,b) -> function of s; 4 distinct? (0,0)->0, (1,1)->1,
+        # (1,0)->s, (0,1)->~s: all distinct
+        assert part.num_blocks == 4
+
+    def test_matches_truthtable_oracle_random(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            t = TruthTable.random(5, rng)
+            bdd, f = build(t)
+            bs = [0, 1, 2]
+            assert local_partition(bdd, f, bs) == local_partition_tt(t, bs)
+
+    def test_bs_subset_of_support_ok(self):
+        # function not depending on x0 at all
+        t = TruthTable.from_function(3, lambda a, b, c: b and c)
+        bdd, f = build(t)
+        part = local_partition(bdd, f, [0, 1])
+        # columns depend only on x1: two classes
+        assert part.num_blocks == 2
+
+
+class TestCofactorMap:
+    def test_cofactors_are_free_set_functions(self):
+        t = TruthTable.from_function(3, lambda a, b, c: (a and b) or c)
+        bdd, f = build(t)
+        cof = cofactor_map(bdd, f, [0, 1])
+        assert len(cof) == 4
+        for node in cof:
+            assert bdd.support(node) <= {2}
+
+    def test_identical_cofactors_same_node(self):
+        t = TruthTable.from_function(3, lambda a, b, c: (a != b) and c)
+        bdd, f = build(t)
+        cof = cofactor_map(bdd, f, [0, 1])
+        assert cof[0b01] == cof[0b10]
+        assert cof[0b00] == cof[0b11]
+
+
+class TestColumnMultiplicity:
+    def test_matches_partition(self):
+        t = TruthTable.from_function(4, lambda a, b, c, d: (a and b) != (c or d))
+        bdd, f = build(t)
+        assert column_multiplicity(bdd, f, [0, 1]) == local_partition(bdd, f, [0, 1]).num_blocks
+
+
+class TestCodewidth:
+    @pytest.mark.parametrize(
+        "classes,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (63, 6), (64, 6)],
+    )
+    def test_values(self, classes, expected):
+        assert codewidth(classes) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            codewidth(0)

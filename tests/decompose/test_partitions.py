@@ -1,0 +1,104 @@
+"""Unit tests for the partition algebra of Section 2."""
+
+import pytest
+
+from repro.decompose.partitions import Partition
+
+
+class TestConstruction:
+    def test_normalization(self):
+        assert Partition([5, 5, 9, 5]).labels == (0, 0, 1, 0)
+
+    def test_from_keys(self):
+        p = Partition.from_keys(["a", "b", "a", "c"])
+        assert p.num_blocks == 3
+        assert p.block_of(0) == p.block_of(2)
+
+    def test_from_blocks(self):
+        p = Partition.from_blocks(4, [[0, 2], [1], [3]])
+        assert p.num_blocks == 3
+        assert p.blocks() == [[0, 2], [1], [3]]
+
+    def test_from_blocks_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Partition.from_blocks(3, [[0, 1], [1, 2]])
+
+    def test_from_blocks_rejects_gap(self):
+        with pytest.raises(ValueError):
+            Partition.from_blocks(3, [[0, 1]])
+
+    def test_from_blocks_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Partition.from_blocks(2, [[0, 1, 2]])
+
+    def test_unit_discrete(self):
+        assert Partition.unit(4).num_blocks == 1
+        assert Partition.discrete(4).num_blocks == 4
+
+
+class TestQueries:
+    def test_block_sizes(self):
+        p = Partition([0, 0, 1, 2, 1])
+        assert p.block_sizes() == [2, 2, 1]
+
+    def test_equality_is_semantic(self):
+        assert Partition([3, 3, 7]) == Partition([0, 0, 1])
+        assert Partition([0, 1, 0]) != Partition([0, 0, 1])
+
+    def test_hashable(self):
+        assert len({Partition([1, 1, 2]), Partition([0, 0, 1])}) == 1
+
+
+class TestRefinement:
+    def test_discrete_refines_everything(self):
+        p = Partition([0, 0, 1, 1])
+        assert Partition.discrete(4).refines(p)
+        assert p.refines(Partition.unit(4))
+
+    def test_refines_is_reflexive(self):
+        p = Partition([0, 1, 0, 2])
+        assert p.refines(p)
+
+    def test_not_refines(self):
+        fine = Partition([0, 0, 1, 1])
+        other = Partition([0, 1, 0, 1])
+        assert not fine.refines(other)
+        assert not other.refines(fine)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Partition([0, 1]).refines(Partition([0, 1, 2]))
+
+
+class TestProduct:
+    def test_product_refines_both_factors(self):
+        a = Partition([0, 0, 1, 1, 2, 2])
+        b = Partition([0, 1, 0, 1, 0, 1])
+        prod = a * b
+        assert prod.refines(a)
+        assert prod.refines(b)
+
+    def test_product_is_coarsest_common_refinement(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([0, 1, 1, 1])
+        prod = a * b
+        assert prod == Partition([0, 1, 2, 2])
+
+    def test_product_with_unit_is_identity(self):
+        p = Partition([0, 1, 0, 2])
+        assert p * Partition.unit(4) == p
+
+    def test_product_all(self):
+        parts = [Partition([0, 0, 1, 1]), Partition([0, 1, 0, 1]), Partition.unit(4)]
+        assert Partition.product_all(parts) == Partition([0, 1, 2, 3])
+
+    def test_product_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Partition.product_all([])
+
+
+class TestRestriction:
+    def test_restricted_blocks(self):
+        p = Partition([0, 0, 1, 1, 2])
+        traces = p.restricted_blocks([0, 2, 3])
+        assert sorted(map(sorted, traces)) == [[0], [2, 3]]

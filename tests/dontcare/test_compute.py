@@ -1,0 +1,92 @@
+"""Unit tests for BDD-based don't-care computation."""
+
+import pytest
+
+from repro.bdd.manager import BDD, TRUE
+from repro.boolfunc.sop import Sop
+from repro.dontcare.compute import local_dont_cares, observability_care_set
+from repro.network.network import Network
+
+
+def sdc_network():
+    """t1 = a&b, t2 = a|b feed y: the combination t1=1,t2=0 is unproducible."""
+    net = Network("sdc")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("t1", ["a", "b"], Sop.from_strings(2, ["11"]))
+    net.add_node("t2", ["a", "b"], Sop.from_strings(2, ["1-", "-1"]))
+    net.add_node("y", ["t1", "t2"], Sop.from_strings(2, ["10", "01"]))
+    net.set_outputs(["y"])
+    return net
+
+
+def odc_network():
+    """y = (n & s) : with s = 0 the node n is unobservable."""
+    net = Network("odc")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_input("s")
+    net.add_node("n", ["a", "b"], Sop.from_strings(2, ["10", "01"]))
+    net.add_node("y", ["n", "s"], Sop.from_strings(2, ["11"]))
+    net.set_outputs(["y"])
+    return net
+
+
+class TestSatisfiabilityDC:
+    def test_unproducible_combination_detected(self):
+        net = sdc_network()
+        onset, dc = local_dont_cares(net, "y", use_observability=False)
+        # fanin vertex (t1=1, t2=0) = row 0b01 is unproducible
+        dc_rows = {m for c in dc.cubes for m in c.minterms()}
+        assert 0b01 in dc_rows
+        # the producible rows are not DC
+        assert 0b00 not in dc_rows and 0b11 not in dc_rows and 0b10 not in dc_rows
+
+    def test_all_combinations_producible_for_pi_fanins(self):
+        net = sdc_network()
+        onset, dc = local_dont_cares(net, "t1", use_observability=False)
+        assert not dc.cubes
+
+
+class TestObservabilityDC:
+    def test_care_set_is_the_enabling_input(self):
+        net = odc_network()
+        bdd = BDD()
+        for pi in net.inputs:
+            bdd.add_var(pi)
+        care = observability_care_set(net, "n", bdd)
+        # y = n & s: n observable iff s = 1
+        assert care == bdd.var(bdd.level_of("s"))
+
+    def test_output_node_fully_observable(self):
+        net = odc_network()
+        bdd = BDD()
+        for pi in net.inputs:
+            bdd.add_var(pi)
+        assert observability_care_set(net, "y", bdd) == TRUE
+
+    def test_odc_appears_in_local_dc(self):
+        """With observability on, y's fanin rows with s=0 become don't-cares."""
+        net = odc_network()
+        onset, dc = local_dont_cares(net, "y", use_observability=True)
+        # y is an output: observability care is forced to TRUE there, so take
+        # an internal consumer instead
+        net2 = odc_network()
+        net2.add_node("z", ["y"], Sop.from_strings(1, ["1"]))
+        net2.set_outputs(["z"])
+        onset, dc = local_dont_cares(net2, "y", use_observability=True)
+        dc_rows = {m for c in dc.cubes for m in c.minterms()}
+        # no ODC for y (z passes it through); but SDC: (n=1, s=0)? producible:
+        # a^b=1, s=0 -> producible. So no DCs at all here.
+        assert not dc_rows
+
+
+class TestGuards:
+    def test_wide_node_rejected(self):
+        net = Network("wide")
+        for i in range(14):
+            net.add_input(f"x{i}")
+        net.add_node("y", [f"x{i}" for i in range(14)], Sop.one(14))
+        net.set_outputs(["y"])
+        with pytest.raises(ValueError):
+            local_dont_cares(net, "y")

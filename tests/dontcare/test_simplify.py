@@ -1,0 +1,95 @@
+"""Unit tests for don't-care-based full_simplify."""
+
+import random
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.dontcare.simplify import full_simplify
+from repro.network.network import Network
+from repro.network.simulate import equivalent
+
+
+def sdc_exploitable_network():
+    """y distinguishes (t1,t2) combos that can never occur: simplifiable.
+
+    t1 = a&b, t2 = a|b.  y = t1 & ~t2 | ~t1 & t2 (xor).  Since t1=1 forces
+    t2=1, y == ~t1 & t2 on the producible space, and with the DC row
+    (t1=1,t2=0) free, espresso can use t1 ^ t2 -> t2 & ~t1 ... either way
+    fewer literals than the xor cover.
+    """
+    net = Network("ex")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("t1", ["a", "b"], Sop.from_strings(2, ["11"]))
+    net.add_node("t2", ["a", "b"], Sop.from_strings(2, ["1-", "-1"]))
+    net.add_node("y", ["t1", "t2"], Sop.from_strings(2, ["10", "01"]))
+    net.set_outputs(["y"])
+    return net
+
+
+def odc_exploitable_network():
+    """n feeds y = n & s only: rows with s = 0 are ODCs for n's consumers."""
+    net = Network("odcx")
+    for name in ("a", "b", "s"):
+        net.add_input(name)
+    # n = a&~b | ~a&b (xor), y = n & s
+    net.add_node("n", ["a", "b"], Sop.from_strings(2, ["10", "01"]))
+    net.add_node("y", ["n", "s"], Sop.from_strings(2, ["11"]))
+    net.set_outputs(["y"])
+    return net
+
+
+class TestFullSimplify:
+    def test_sdc_reduces_literals(self):
+        net = sdc_exploitable_network()
+        reference = net.copy()
+        saved = full_simplify(net, use_observability=False)
+        assert saved > 0
+        assert equivalent(net, reference)
+
+    def test_odc_variant_preserves_outputs(self):
+        net = odc_exploitable_network()
+        reference = net.copy()
+        full_simplify(net, use_observability=True)
+        assert equivalent(net, reference)
+
+    def test_random_networks_preserved(self):
+        rng = random.Random(17)
+        for trial in range(8):
+            net = Network(f"r{trial}")
+            for i in range(5):
+                net.add_input(f"x{i}")
+            prev = [f"x{i}" for i in range(5)]
+            for layer in range(3):
+                t = TruthTable.random(3, rng)
+                name = f"n{layer}"
+                fanins = rng.sample(prev, 3)
+                net.add_node(name, fanins, Sop.from_truthtable(t))
+                prev.append(name)
+            net.set_outputs([f"n{layer}" for layer in range(3)])
+            reference = net.copy()
+            full_simplify(net)
+            assert equivalent(net, reference)
+
+    def test_too_many_inputs_is_noop(self):
+        net = Network("big")
+        for i in range(30):
+            net.add_input(f"x{i}")
+        net.add_node("y", ["x0", "x1"], Sop.from_strings(2, ["11"]))
+        net.set_outputs(["y"])
+        assert full_simplify(net, max_inputs=24) == 0
+
+    def test_literal_count_never_increases(self):
+        rng = random.Random(3)
+        for trial in range(5):
+            net = Network(f"l{trial}")
+            for i in range(4):
+                net.add_input(f"x{i}")
+            net.add_node("u", ["x0", "x1", "x2"], Sop.from_truthtable(TruthTable.random(3, rng)))
+            net.add_node("v", ["u", "x3"], Sop.from_truthtable(TruthTable.random(2, rng)))
+            net.add_node("w", ["u", "v", "x0"], Sop.from_truthtable(TruthTable.random(3, rng)))
+            net.set_outputs(["w"])
+            before = sum(n.cover.num_literals() for n in net.nodes.values())
+            full_simplify(net)
+            after = sum(n.cover.num_literals() for n in net.nodes.values())
+            assert after <= before

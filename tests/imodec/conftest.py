@@ -1,0 +1,56 @@
+"""The paper's running example: functions f1 and f2 of Fig. 2.
+
+The decomposition charts list columns x1x2x3 = 000..111 and rows
+y1y2 = 00,01,10,11.  We map paper variables x1,x2,x3,y1,y2 to BDD levels
+0..4; a bound-set vertex has x1 as bit 0, x2 as bit 1, x3 as bit 2 (so the
+paper's column label "011" -- x1=0, x2=1, x3=1 -- is vertex 6).
+"""
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+
+# Chart rows from Fig. 2 a): rows y1y2 = 00, 01, 10, 11; columns 000..111
+F1_ROWS = [
+    "00010111",
+    "11111110",
+    "11111110",
+    "00010110",
+]
+# Fig. 2 b)
+F2_ROWS = [
+    "00010101",
+    "01111110",
+    "01111110",
+    "11101010",
+]
+
+
+def vertex_of(label: str) -> int:
+    """Paper column label 'x1x2x3' -> our vertex index (x1 = bit 0)."""
+    return sum(1 << j for j, ch in enumerate(label) if ch == "1")
+
+
+def table_from_chart(rows: list[str]) -> TruthTable:
+    """Build a 5-variable truth table (x1,x2,x3,y1,y2 = vars 0..4)."""
+
+    def fn(x1, x2, x3, y1, y2):
+        col = int(f"{x1}{x2}{x3}", 2)  # paper column index, x1 is MSB of label
+        row = int(f"{y1}{y2}", 2)
+        return rows[row][col] == "1"
+
+    return TruthTable.from_function(5, fn)
+
+
+@pytest.fixture
+def paper_functions():
+    """(bdd, f1 node, f2 node, bs_levels, fs_levels) for the running example."""
+    bdd = BDD()
+    for name in ("x1", "x2", "x3", "y1", "y2"):
+        bdd.add_var(name)
+    t1 = table_from_chart(F1_ROWS)
+    t2 = table_from_chart(F2_ROWS)
+    f1 = t1.to_bdd(bdd, [0, 1, 2, 3, 4])
+    f2 = t2.to_bdd(bdd, [0, 1, 2, 3, 4])
+    return bdd, f1, f2, [0, 1, 2], [3, 4]

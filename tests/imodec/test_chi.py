@@ -1,0 +1,114 @@
+"""Unit tests for the implicit chi computation (subset DP, psi substitution)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.imodec.chi import block_condition, chi_for_output, threshold_at_least
+from repro.imodec.zspace import ZSpace
+
+
+class TestThreshold:
+    def test_zero_delta_is_true(self):
+        z = ZSpace(3)
+        assert threshold_at_least(z, [z.bdd.var(0)], 0) == TRUE
+
+    def test_over_budget_is_false(self):
+        z = ZSpace(3)
+        assert threshold_at_least(z, [z.bdd.var(0)], 2) == FALSE
+
+    def test_threshold_counts_variables(self):
+        z = ZSpace(4)
+        lits = [z.bdd.var(i) for i in range(4)]
+        for delta in range(5):
+            t = threshold_at_least(z, lits, delta)
+            expected = sum(1 for k in range(delta, 5) for _ in combinations(range(4), k))
+            assert z.count(t) == expected
+
+    def test_threshold_with_composite_terms(self):
+        z = ZSpace(4)
+        # terms: z0&z1, z2, z3 ; at least 2
+        terms = [z.conj_pos([0, 1]), z.bdd.var(2), z.bdd.var(3)]
+        t = threshold_at_least(z, terms, 2)
+        explicit = 0
+        for row in range(16):
+            vals = [bool(row & 1) and bool(row & 2), bool(row & 4), bool(row & 8)]
+            if sum(vals) >= 2:
+                explicit += 1
+        assert z.count(t) == explicit
+
+
+class TestBlockCondition:
+    def test_vacuous_when_budget_large(self):
+        z = ZSpace(3)
+        # 2 classes, remaining codewidth 2 -> limit 2, delta 0 -> TRUE
+        assert block_condition(z, [[0], [1]], 2) == TRUE
+
+    def test_requires_budget(self):
+        z = ZSpace(2)
+        with pytest.raises(ValueError):
+            block_condition(z, [[0], [1]], 0)
+
+    def test_two_classes_one_function(self):
+        z = ZSpace(2)
+        # classes {G0}, {G1}, remaining 1: the function must separate them
+        cond = block_condition(z, [[0], [1]], 1)
+        assert z.contains(cond, {0: True, 1: False})
+        assert z.contains(cond, {0: False, 1: True})
+        assert not z.contains(cond, {0: True, 1: True})
+        assert not z.contains(cond, {0: False, 1: False})
+
+    def test_multi_global_class_must_stay_whole(self):
+        z = ZSpace(3)
+        # classes {G0,G1} and {G2}, remaining 1: each class pure, opposite sides
+        cond = block_condition(z, [[0, 1], [2]], 1)
+        assert z.contains(cond, {0: True, 1: True, 2: False})
+        assert z.contains(cond, {0: False, 1: False, 2: True})
+        # splitting class {G0,G1} leaves it intersecting both sides
+        assert not z.contains(cond, {0: True, 1: False, 2: True})
+
+
+class TestChiForOutput:
+    def test_brute_force_cross_check(self):
+        """chi must equal the explicit enumeration of assignable constructable fns."""
+        z = ZSpace(4)
+        # one output: local classes {G0,G1}, {G2}, {G3}; l=3, c=2, delta=1
+        classes = [[0, 1], [2], [3]]
+        chi = chi_for_output(z, [classes], 2, normalize=False)
+        explicit = set()
+        for row in range(16):
+            onset = {i for i in range(4) if (row >> i) & 1}
+            fully_on = sum(1 for cls in classes if set(cls) <= onset)
+            fully_off = sum(1 for cls in classes if not (set(cls) & onset))
+            if fully_on >= 1 and fully_off >= 1:
+                explicit.add(row)
+        implicit = {
+            sum(1 << i for i in range(4) if model[i])
+            for model in z.bdd.iter_sat(chi, z.levels)
+        }
+        assert implicit == explicit
+
+    def test_normalization_halves_count(self):
+        z = ZSpace(4)
+        classes = [[0, 1], [2], [3]]
+        raw = chi_for_output(z, [classes], 2, normalize=False)
+        norm = chi_for_output(z, [classes], 2, normalize=True)
+        assert z.count(raw) == 2 * z.count(norm)
+
+    def test_multi_block_product(self):
+        z = ZSpace(4)
+        # two blocks, each with two singleton classes, remaining 1:
+        # the function must separate within both blocks
+        blocks = [[[0], [1]], [[2], [3]]]
+        chi = chi_for_output(z, blocks, 1, normalize=False)
+        assert z.contains(chi, {0: True, 1: False, 2: False, 3: True})
+        assert not z.contains(chi, {0: True, 1: True, 2: True, 3: False})
+        assert z.count(chi) == 4
+
+    def test_empty_chi_possible_for_impossible_budget(self):
+        z = ZSpace(4)
+        # 4 singleton classes but remaining codewidth 1: next function must
+        # leave both sides with <= 1 class -- impossible with 4 classes.
+        chi = chi_for_output(z, [[[0], [1], [2], [3]]], 1, normalize=False)
+        assert chi == FALSE

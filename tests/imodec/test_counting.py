@@ -1,0 +1,115 @@
+"""Unit tests for the Table 1 counters, including brute-force cross-checks."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.imodec.counting import (
+    count_all_functions,
+    count_assignable,
+    count_constructable,
+    count_preferable,
+)
+
+
+def brute_force_assignable(class_sizes, codewidth):
+    """Enumerate all functions over the vertex set; count assignable ones."""
+    total_vertices = sum(class_sizes)
+    limit = 1 << (codewidth - 1)
+    # class of each vertex
+    cls_of = []
+    for i, size in enumerate(class_sizes):
+        cls_of.extend([i] * size)
+    count = 0
+    for func in range(1 << total_vertices):
+        touch_on = set()
+        touch_off = set()
+        for v in range(total_vertices):
+            if (func >> v) & 1:
+                touch_on.add(cls_of[v])
+            else:
+                touch_off.add(cls_of[v])
+        if len(touch_on) <= limit and len(touch_off) <= limit:
+            count += 1
+    return count
+
+
+class TestCountAssignable:
+    def test_paper_f51m_row1(self):
+        """Table 1, f51m: l = 2 -> 2 assignable functions."""
+        # two classes; sizes sum to 2^5 = 32 but only purity matters for l=2
+        assert count_assignable([16, 16], 1) == 2
+        assert count_assignable([31, 1], 1) == 2
+
+    def test_paper_f51m_row2(self):
+        """Table 1, f51m: l = 4 -> 6 assignable functions (C(4,2))."""
+        assert count_assignable([8, 8, 8, 8], 2) == 6
+        assert count_assignable([29, 1, 1, 1], 2) == 6
+
+    def test_brute_force_cross_check(self):
+        for sizes, c in [([2, 1, 1], 2), ([3, 2], 1), ([2, 2, 2], 2), ([1, 1, 1, 1, 2], 3)]:
+            assert count_assignable(sizes, c) == brute_force_assignable(sizes, c)
+
+    def test_mixed_classes_allowed_when_budget_permits(self):
+        # l = 3, c = 2, limit 2: one class may be mixed
+        # classes sized [2,1,1]: choices: pure assignments with <=2 per side
+        # + mixed assignments of the size-2 class
+        assert count_assignable([2, 1, 1], 2) == brute_force_assignable([2, 1, 1], 2)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            count_assignable([], 1)
+        with pytest.raises(ValueError):
+            count_assignable([1], -1)
+
+    def test_codewidth_zero_convention(self):
+        assert count_assignable([4], 0) == 2
+
+    def test_large_values_exact_integers(self):
+        # 24 classes of one vertex each + filler: c = 5 -> huge count, exact
+        sizes = [10] * 24
+        value = count_assignable(sizes, 5)
+        assert value > 10**30 and value % 1 == 0  # exact big-int arithmetic
+
+
+class TestCountPreferable:
+    def test_paper_l5_p5(self):
+        """Table 1, f51m third output: l = 5, p = 5 -> 30 = 2^5 - 2."""
+        classes = [[0], [1], [2], [3], [4]]
+        assert count_preferable(classes, 5, 3) == 30
+
+    def test_paper_l4_with_merged_globals(self):
+        """f2 of the running example: 6 preferable functions."""
+        classes = [[0], [1, 2], [3], [4]]
+        assert count_preferable(classes, 5, 2) == 6
+
+    def test_l2_two_preferable(self):
+        classes = [[0, 1], [2]]
+        assert count_preferable(classes, 3, 1) == 2
+
+    def test_brute_force_cross_check(self):
+        classes = [[0, 1], [2], [3, 4], [5]]
+        c = 2
+        limit = 1 << (c - 1)
+        explicit = 0
+        for row in range(1 << 6):
+            onset = {i for i in range(6) if (row >> i) & 1}
+            on = sum(1 for cls in classes if set(cls) <= onset)
+            off = sum(1 for cls in classes if not (set(cls) & onset))
+            if on >= len(classes) - limit and off >= len(classes) - limit:
+                explicit += 1
+        assert count_preferable(classes, 6, c) == explicit
+
+    def test_codewidth_zero_convention(self):
+        assert count_preferable([[0]], 1, 0) == 2
+
+
+class TestBounds:
+    def test_constructable_bound(self):
+        assert count_constructable(5) == 32
+        assert count_constructable(32) == 1 << 32
+
+    def test_all_functions_bound(self):
+        assert count_all_functions(5) == 1 << 32
+        # the paper's (1.2e77) for b = 8
+        assert 1.1e77 < count_all_functions(8) < 1.3e77

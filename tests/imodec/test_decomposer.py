@@ -1,0 +1,147 @@
+"""Unit tests for the full multi-output decomposer on synthetic functions."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+from repro.imodec.decomposer import decompose_multi
+
+
+def build_vector(tables):
+    bdd = BDD()
+    n = tables[0].num_vars
+    for i in range(n):
+        bdd.add_var(f"x{i}")
+    nodes = [t.to_bdd(bdd, list(range(n))) for t in tables]
+    return bdd, nodes
+
+
+class TestCorrectness:
+    def test_random_vectors_verify(self):
+        rng = random.Random(99)
+        for _ in range(15):
+            tables = [TruthTable.random(6, rng) for _ in range(3)]
+            bdd, nodes = build_vector(tables)
+            result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5])
+            assert result.verify(bdd, nodes)
+
+    def test_single_output_reduces_to_classical(self):
+        rng = random.Random(7)
+        t = TruthTable.random(5, rng)
+        bdd, nodes = build_vector([t])
+        result = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4])
+        assert result.verify(bdd, nodes)
+        assert result.num_functions == result.codewidths[0]
+
+    def test_identical_outputs_share_everything(self):
+        rng = random.Random(21)
+        t = TruthTable.random(6, rng)
+        bdd, nodes = build_vector([t, t, t])
+        result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5])
+        assert result.verify(bdd, nodes)
+        # all outputs identical -> the pool is exactly one output's worth
+        assert result.num_functions == result.codewidths[0]
+        for d in result.d_pool:
+            assert len(d.users) == 3
+
+    def test_constant_output_handled(self):
+        t1 = TruthTable.constant(4, True)
+        t2 = TruthTable.from_function(4, lambda a, b, c, d: a ^ b ^ c)
+        bdd, nodes = build_vector([t1, t2])
+        result = decompose_multi(bdd, nodes, [0, 1], [2, 3])
+        assert result.verify(bdd, nodes)
+        assert result.codewidths[0] == 0
+
+    def test_bound_set_independent_output(self):
+        # output depending only on free variables
+        t1 = TruthTable.from_function(4, lambda a, b, c, d: c and d)
+        t2 = TruthTable.from_function(4, lambda a, b, c, d: a ^ d)
+        bdd, nodes = build_vector([t1, t2])
+        result = decompose_multi(bdd, nodes, [0, 1], [2, 3])
+        assert result.verify(bdd, nodes)
+        assert result.codewidths[0] == 0
+
+
+class TestSharingQuality:
+    def test_shared_outputs_of_an_adder(self):
+        """Sum and carry of a 3-bit ones-count share decomposition functions."""
+
+        def s0(*xs):
+            return sum(xs) & 1
+
+        def s1(*xs):
+            return (sum(xs) >> 1) & 1
+
+        tables = [TruthTable.from_function(5, s0), TruthTable.from_function(5, s1)]
+        bdd, nodes = build_vector(tables)
+        result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4])
+        assert result.verify(bdd, nodes)
+        # individual decompositions would need c0 + c1; sharing must not lose
+        assert result.num_functions <= result.num_functions_unshared
+        # ones-count structure: at least one function is genuinely shared
+        assert any(len(d.users) == 2 for d in result.d_pool)
+
+    def test_property1_lower_bound_holds(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            tables = [TruthTable.random(6, rng) for _ in range(2)]
+            bdd, nodes = build_vector(tables)
+            result = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4, 5])
+            assert result.num_functions >= result.lower_bound()
+
+    def test_q_never_exceeds_sum_of_codewidths(self):
+        rng = random.Random(13)
+        for _ in range(10):
+            tables = [TruthTable.random(5, rng) for _ in range(3)]
+            bdd, nodes = build_vector(tables)
+            result = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4])
+            assert result.num_functions <= result.num_functions_unshared
+
+
+class TestDTablesAreConstructable:
+    def test_pool_functions_constructable(self):
+        from repro.imodec.globalpart import is_constructable
+
+        rng = random.Random(5)
+        tables = [TruthTable.random(6, rng) for _ in range(3)]
+        bdd, nodes = build_vector(tables)
+        result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5])
+        for d in result.d_pool:
+            assert is_constructable(d.table, result.global_part)
+
+    def test_assignments_refine_local_partitions(self):
+        rng = random.Random(55)
+        tables = [TruthTable.random(6, rng) for _ in range(2)]
+        bdd, nodes = build_vector(tables)
+        result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5])
+        for k in range(2):
+            d_parts = [
+                Partition([1 if result.d_pool[i].table[v] else 0 for v in range(16)])
+                for i in result.assignments[k]
+            ]
+            if d_parts:
+                prod = Partition.product_all(d_parts)
+                assert prod.refines(result.local_partitions[k])
+
+
+class TestValidation:
+    def test_overlapping_sets_rejected(self):
+        t = TruthTable.constant(4, True)
+        bdd, nodes = build_vector([t])
+        with pytest.raises(ValueError):
+            decompose_multi(bdd, nodes, [0, 1], [1, 2])
+
+    def test_support_check(self):
+        t = TruthTable.from_function(4, lambda a, b, c, d: a and d)
+        bdd, nodes = build_vector([t])
+        with pytest.raises(ValueError):
+            decompose_multi(bdd, nodes, [0, 1], [2])
+
+    def test_empty_vector_rejected(self):
+        bdd = BDD()
+        bdd.add_var("x0")
+        with pytest.raises(ValueError):
+            decompose_multi(bdd, [], [0], [])

@@ -1,0 +1,85 @@
+"""Unit tests for the global partition machinery."""
+
+import pytest
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+from repro.imodec.globalpart import (
+    constructable_table,
+    global_partition,
+    is_constructable,
+    local_classes_as_global_ids,
+    lower_bound_q,
+)
+
+
+class TestGlobalPartition:
+    def test_product_semantics(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([0, 1, 0, 1])
+        assert global_partition([a, b]) == a * b
+
+    def test_single_output_is_local(self):
+        a = Partition([0, 1, 0, 2])
+        assert global_partition([a]) == a
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            global_partition([])
+
+    def test_refines_every_local(self):
+        parts = [Partition([0, 0, 1, 1, 2, 2, 2, 2]), Partition([0, 1, 1, 1, 0, 0, 1, 1])]
+        glob = global_partition(parts)
+        for p in parts:
+            assert glob.refines(p)
+
+
+class TestLocalClassesAsGlobalIds:
+    def test_mapping_covers_all_globals(self):
+        local = Partition([0, 0, 1, 1])
+        glob = Partition([0, 1, 2, 2])
+        classes = local_classes_as_global_ids(glob, local)
+        assert classes == [[0, 1], [2]]
+
+    def test_requires_refinement(self):
+        local = Partition([0, 1, 0, 1])
+        glob = Partition([0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            local_classes_as_global_ids(glob, local)
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("p,q", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (32, 5), (33, 6)])
+    def test_values(self, p, q):
+        assert lower_bound_q(p) == q
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lower_bound_q(0)
+
+
+class TestConstructable:
+    def test_constructable_function(self):
+        glob = Partition([0, 0, 1, 1])
+        t = TruthTable.from_rows([1, 1, 0, 0])
+        assert is_constructable(t, glob)
+
+    def test_non_constructable_function(self):
+        glob = Partition([0, 0, 1, 1])
+        t = TruthTable.from_rows([1, 0, 0, 0])  # splits class {0,1}
+        assert not is_constructable(t, glob)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            is_constructable(TruthTable.constant(3, True), Partition([0, 1]))
+
+    def test_constructable_table_round_trip(self):
+        glob = Partition([0, 1, 1, 2])
+        t = constructable_table(frozenset({0, 2}), glob)
+        assert list(t.minterms()) == [0, 3]
+        assert is_constructable(t, glob)
+
+    def test_constants_always_constructable(self):
+        glob = Partition([0, 1, 2, 3])
+        assert is_constructable(TruthTable.constant(2, False), glob)
+        assert is_constructable(TruthTable.constant(2, True), glob)

@@ -1,0 +1,83 @@
+"""Unit tests for the implicit Lmax step."""
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.imodec.lmax import count_layers, lmax, pick_vertex
+from repro.imodec.zspace import ZSpace
+
+
+class TestCountLayers:
+    def test_layers_partition_the_space(self):
+        z = ZSpace(3)
+        chis = [z.bdd.var(0), z.bdd.var(1), z.conj_pos([0, 1])]
+        layers = count_layers(z, chis)
+        assert len(layers) == 4
+        # layers are pairwise disjoint and cover everything
+        total = sum(z.count(layer) for layer in layers if layer != FALSE)
+        assert total == 8
+        union = z.bdd.disjoin(layers)
+        assert union == TRUE
+
+    def test_layer_counts_explicit(self):
+        z = ZSpace(2)
+        chis = [z.bdd.var(0), z.bdd.var(1)]
+        layers = count_layers(z, chis)
+        assert z.count(layers[0]) == 1  # 00
+        assert z.count(layers[1]) == 2  # 01, 10
+        assert z.count(layers[2]) == 1  # 11
+
+
+class TestPickVertex:
+    def test_rejects_empty(self):
+        z = ZSpace(2)
+        with pytest.raises(ValueError):
+            pick_vertex(z, FALSE)
+
+    def test_first_is_total_assignment(self):
+        z = ZSpace(4)
+        vertex = pick_vertex(z, z.bdd.var(2), "first")
+        assert set(vertex) == {0, 1, 2, 3}
+        assert vertex[2] is True
+
+    def test_balanced_satisfies_winners(self):
+        z = ZSpace(5)
+        winners = z.bdd.apply_and(z.bdd.nvar(0), z.bdd.var(3))
+        vertex = pick_vertex(z, winners, "balanced")
+        assert z.bdd.eval(winners, vertex)
+
+    def test_balanced_prefers_half_ones(self):
+        z = ZSpace(4)
+        vertex = pick_vertex(z, TRUE, "balanced")
+        assert sum(vertex.values()) == 2
+
+    def test_unknown_strategy(self):
+        z = ZSpace(2)
+        with pytest.raises(ValueError):
+            pick_vertex(z, TRUE, "wat")
+
+
+class TestLmax:
+    def test_requires_chis(self):
+        z = ZSpace(2)
+        with pytest.raises(ValueError):
+            lmax(z, [])
+
+    def test_max_count_and_membership(self):
+        z = ZSpace(3)
+        chis = [z.bdd.var(0), z.bdd.var(0), z.bdd.var(1)]
+        result = lmax(z, chis)
+        assert result.count == 3  # vertex with z0=1, z1=1 is in all three
+        assert z.bdd.eval(chis[0], result.vertex)
+        assert z.bdd.eval(chis[2], result.vertex)
+
+    def test_disjoint_chis_give_count_one(self):
+        z = ZSpace(2)
+        chis = [z.conj_pos([0, 1]), z.bdd.apply_and(z.bdd.nvar(0), z.bdd.nvar(1))]
+        result = lmax(z, chis)
+        assert result.count == 1
+
+    def test_count_zero_when_all_empty(self):
+        z = ZSpace(2)
+        result = lmax(z, [FALSE, FALSE])
+        assert result.count == 0

@@ -1,0 +1,218 @@
+"""End-to-end reproduction of the paper's in-text Examples 1-7.
+
+Every numbered example of the paper that involves the running functions
+f1/f2 of Fig. 2 is checked verbatim here: local classes (Example 1), global
+classes (Example 3), positional-set representation (Example 4), the
+characteristic functions chi_1 and chi_2 (Example 5), the shared-vertex
+analysis of Fig. 5 / Example 6, and the full three-function decomposition
+with d_1 shared by both outputs (Examples 3 and 7).
+"""
+
+from repro.decompose.compat import codewidth, local_partition
+from repro.imodec.chi import chi_for_output
+from repro.imodec.counting import count_preferable
+from repro.imodec.decomposer import decompose_multi
+from repro.imodec.globalpart import global_partition, local_classes_as_global_ids
+from repro.imodec.zspace import ZSpace
+
+from .conftest import vertex_of
+
+
+def blocks_as_label_sets(partition, bs_size=3):
+    labels = [format(v, "03b")[::-1] for v in range(1 << bs_size)]
+    # label string is x1x2x3 (bit j of vertex = x_{j+1})
+    return {frozenset(labels[v] for v in block) for block in partition.blocks()}
+
+
+class TestExample1LocalClasses:
+    def test_f1_partition(self, paper_functions):
+        bdd, f1, _, bs, _ = paper_functions
+        part = local_partition(bdd, f1, bs)
+        assert part.num_blocks == 3
+        expected = {
+            frozenset({"000", "001", "010", "100"}),
+            frozenset({"011", "101", "110"}),
+            frozenset({"111"}),
+        }
+        assert blocks_as_label_sets(part) == expected
+
+    def test_f2_partition(self, paper_functions):
+        bdd, _, f2, bs, _ = paper_functions
+        part = local_partition(bdd, f2, bs)
+        assert part.num_blocks == 4
+        expected = {
+            frozenset({"000"}),
+            frozenset({"001", "010", "100", "110"}),
+            frozenset({"011", "101"}),
+            frozenset({"111"}),
+        }
+        assert blocks_as_label_sets(part) == expected
+
+    def test_codewidths(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        assert codewidth(local_partition(bdd, f1, bs).num_blocks) == 2
+        assert codewidth(local_partition(bdd, f2, bs).num_blocks) == 2
+
+
+class TestExample3GlobalClasses:
+    def test_global_partition_has_five_classes(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+        glob = global_partition(parts)
+        assert glob.num_blocks == 5
+        expected = {
+            frozenset({"000"}),
+            frozenset({"001", "010", "100"}),
+            frozenset({"110"}),
+            frozenset({"011", "101"}),
+            frozenset({"111"}),
+        }
+        assert blocks_as_label_sets(glob) == expected
+
+    def test_local_classes_as_unions_of_global(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+        glob = global_partition(parts)
+        # Identify global ids by their content.
+        id_of = {}
+        for gid, block in enumerate(glob.blocks()):
+            id_of[frozenset(block)] = gid
+        g1 = id_of[frozenset({vertex_of("000")})]
+        g2 = id_of[frozenset({vertex_of(l) for l in ("001", "010", "100")})]
+        g3 = id_of[frozenset({vertex_of("110")})]
+        g4 = id_of[frozenset({vertex_of(l) for l in ("011", "101")})]
+        g5 = id_of[frozenset({vertex_of("111")})]
+
+        f1_classes = local_classes_as_global_ids(glob, parts[0])
+        as_sets = {frozenset(cls) for cls in f1_classes}
+        # L1 = G1 u G2, L2 = G3 u G4, L3 = G5  (paper numbering)
+        assert as_sets == {frozenset({g1, g2}), frozenset({g3, g4}), frozenset({g5})}
+
+        f2_classes = local_classes_as_global_ids(glob, parts[1])
+        as_sets2 = {frozenset(cls) for cls in f2_classes}
+        assert as_sets2 == {
+            frozenset({g1}),
+            frozenset({g2, g3}),
+            frozenset({g4}),
+            frozenset({g5}),
+        }
+
+
+class TestExample5Chi:
+    """chi_1 and chi_2 with the first-occurrence numbering G1..G5 -> z0..z4."""
+
+    def _setup(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+        glob = global_partition(parts)
+        classes = [local_classes_as_global_ids(glob, p) for p in parts]
+        zspace = ZSpace(glob.num_blocks)
+        return zspace, classes
+
+    def test_first_occurrence_matches_paper_numbering(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+        glob = global_partition(parts)
+        # vertex order 0..7 = labels 000,100,010,110,001,101,011,111
+        assert glob.block_of(vertex_of("000")) == 0  # G1
+        assert glob.block_of(vertex_of("001")) == 1  # G2
+        assert glob.block_of(vertex_of("110")) == 2  # G3
+        assert glob.block_of(vertex_of("011")) == 3  # G4
+        assert glob.block_of(vertex_of("111")) == 4  # G5
+
+    def test_chi1_formula(self, paper_functions):
+        zspace, classes = self._setup(paper_functions)
+        chi1 = chi_for_output(zspace, [classes[0]], 2, normalize=True)
+        bdd = zspace.bdd
+        z = [bdd.var(i) for i in range(5)]
+        nz = [bdd.nvar(i) for i in range(5)]
+        # paper (1-based): ~z1~z2 z3z4 + ~z1 z3z4~z5 + ~z1~z2 z5 + ~z1~z3~z4 z5
+        expected = bdd.disjoin(
+            [
+                bdd.conjoin([nz[0], nz[1], z[2], z[3]]),
+                bdd.conjoin([nz[0], z[2], z[3], nz[4]]),
+                bdd.conjoin([nz[0], nz[1], z[4]]),
+                bdd.conjoin([nz[0], nz[2], nz[3], z[4]]),
+            ]
+        )
+        assert chi1 == expected
+
+    def test_chi2_formula(self, paper_functions):
+        zspace, classes = self._setup(paper_functions)
+        chi2 = chi_for_output(zspace, [classes[1]], 2, normalize=True)
+        bdd = zspace.bdd
+        z = [bdd.var(i) for i in range(5)]
+        nz = [bdd.nvar(i) for i in range(5)]
+        # paper: ~z1 z2z3z4 ~z5 + ~z1 z2z3 ~z4 z5 + ~z1 ~z2~z3 z4z5
+        expected = bdd.disjoin(
+            [
+                bdd.conjoin([nz[0], z[1], z[2], z[3], nz[4]]),
+                bdd.conjoin([nz[0], z[1], z[2], nz[3], z[4]]),
+                bdd.conjoin([nz[0], nz[1], nz[2], z[3], z[4]]),
+            ]
+        )
+        assert chi2 == expected
+
+    def test_preferable_counts_without_normalization(self, paper_functions):
+        zspace, classes = self._setup(paper_functions)
+        # raw counts include complements: chi1 has 4 normalized vertices...
+        # f2: C(4,2) = 6 functions -> 3 after dropping complements.
+        assert count_preferable(classes[1], 5, 2) == 6
+        chi2 = chi_for_output(zspace, [classes[1]], 2, normalize=True)
+        assert zspace.count(chi2) == 3
+
+
+class TestExample6SharedVertices:
+    def test_two_shared_preferable_functions(self, paper_functions):
+        bdd, f1, f2, bs, _ = paper_functions
+        parts = [local_partition(bdd, f, bs) for f in (f1, f2)]
+        glob = global_partition(parts)
+        classes = [local_classes_as_global_ids(glob, p) for p in parts]
+        zspace = ZSpace(glob.num_blocks)
+        chi1 = chi_for_output(zspace, [classes[0]], 2)
+        chi2 = chi_for_output(zspace, [classes[1]], 2)
+        both = zspace.bdd.apply_and(chi1, chi2)
+        assert zspace.count(both) == 2
+        vertices = {
+            frozenset(i for i in range(5) if model[i])
+            for model in zspace.bdd.iter_sat(both, zspace.levels)
+        }
+        # {G2,G3,G4} (the paper's chosen d1) and {G4,G5}
+        assert vertices == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+
+class TestExamples3And7FullDecomposition:
+    def test_three_functions_with_shared_d1(self, paper_functions):
+        bdd, f1, f2, bs, fs = paper_functions
+        result = decompose_multi(bdd, [f1, f2], bs, fs, tie_break="balanced")
+        assert result.num_global_classes == 5
+        assert result.lower_bound() == 3
+        # the paper achieves the optimum q = 3 with d1 shared by both outputs
+        assert result.num_functions == 3
+        assert result.num_functions_unshared == 4
+        shared = [d for d in result.d_pool if len(d.users) == 2]
+        assert len(shared) == 1
+        assert result.verify(bdd, [f1, f2])
+
+    def test_paper_d1_is_the_shared_function(self, paper_functions):
+        bdd, f1, f2, bs, fs = paper_functions
+        result = decompose_multi(bdd, [f1, f2], bs, fs, tie_break="balanced")
+        shared = next(d for d in result.d_pool if len(d.users) == 2)
+        # d1 = G2 u G3 u G4 (paper numbering) = our classes {1, 2, 3}
+        assert shared.classes_on == frozenset({1, 2, 3})
+        # Example 3: d1 = ~x1 x3 + x2 ~x3 + x1 ~x2
+        expected = {
+            v
+            for v in range(8)
+            if (not (v & 1) and (v & 4))
+            or ((v & 2) and not (v & 4))
+            or ((v & 1) and not (v & 2))
+        }
+        assert set(shared.table.minterms()) == expected
+
+    def test_first_tie_break_still_correct_but_not_optimal(self, paper_functions):
+        """Greedy with lexicographic choice picks {G4,G5} first and ends at q=4."""
+        bdd, f1, f2, bs, fs = paper_functions
+        result = decompose_multi(bdd, [f1, f2], bs, fs, tie_break="first")
+        assert result.verify(bdd, [f1, f2])
+        assert result.num_functions in (3, 4)

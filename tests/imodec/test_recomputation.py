@@ -1,0 +1,84 @@
+"""Tests for the iterative recomputation of chi after partial assignments.
+
+The paper (end of Section 6): "The characteristic functions of the affected
+outputs are recomputed, taking into account the given partial assignment.
+Generally, the number of preferable functions decreases with each
+recomputation."  These tests drive that machinery directly, block by block.
+"""
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.imodec.chi import chi_for_output
+from repro.imodec.zspace import ZSpace
+
+
+def split_blocks(blocks, classes_on):
+    """Refine a partial partition by a chosen constructable function."""
+    new_blocks = []
+    for block in blocks:
+        on_side = [cls & classes_on for cls in block]
+        off_side = [cls - classes_on for cls in block]
+        on_side = [c for c in on_side if c]
+        off_side = [c for c in off_side if c]
+        if on_side:
+            new_blocks.append(on_side)
+        if off_side:
+            new_blocks.append(off_side)
+    return new_blocks
+
+
+class TestRecomputation:
+    def test_preferable_count_decreases(self):
+        """Example-3-style output: l = 4, c = 2, then one assignment."""
+        zspace = ZSpace(5)
+        classes = [frozenset({0}), frozenset({1, 2}), frozenset({3}), frozenset({4})]
+        chi0 = chi_for_output(zspace, [list(map(sorted, classes))], 2, normalize=False)
+        count0 = zspace.count(chi0)
+        # choose d = {G1, G2, G3} (a preferable function: exactly 2 classes
+        # fully on, 2 fully off)
+        chosen = frozenset({1, 2, 3})
+        assert zspace.contains(chi0, {i: i in chosen for i in range(5)})
+        blocks = split_blocks([list(classes)], chosen)
+        chi1 = chi_for_output(
+            zspace, [[sorted(c) for c in blk] for blk in blocks], 1, normalize=False
+        )
+        count1 = zspace.count(chi1)
+        assert 0 < count1 < count0
+
+    def test_final_assignment_refines_fully(self):
+        """After c assignments every block holds exactly one class piece."""
+        zspace = ZSpace(4)
+        classes = [frozenset({0}), frozenset({1}), frozenset({2}), frozenset({3})]
+        blocks = [list(classes)]
+        remaining = 2
+        chosen_sets = [frozenset({0, 1}), frozenset({0, 2})]
+        for chosen in chosen_sets:
+            chi = chi_for_output(
+                zspace, [[sorted(c) for c in blk] for blk in blocks], remaining,
+                normalize=False,
+            )
+            assert zspace.contains(chi, {i: i in chosen for i in range(4)})
+            blocks = split_blocks(blocks, chosen)
+            remaining -= 1
+        assert all(len(block) == 1 for block in blocks)
+
+    def test_unassignable_choice_rejected_by_chi(self):
+        """d that leaves 3 classes on one side is not in chi for c = 2."""
+        zspace = ZSpace(4)
+        classes = [[0], [1], [2], [3]]
+        chi = chi_for_output(zspace, [classes], 2, normalize=False)
+        # onset {G0} leaves 3 classes off -> offset side would need 2 more
+        # functions for 3 classes: fine (2^1 = 2 >= ... no: limit is 2).
+        # 3 classes intersecting the offset > 2^(2-1) = 2 -> not assignable.
+        assert not zspace.contains(chi, {0: True, 1: False, 2: False, 3: False})
+        assert zspace.contains(chi, {0: True, 1: True, 2: False, 3: False})
+
+    def test_vacuous_block_contributes_true(self):
+        zspace = ZSpace(3)
+        # block with a single class piece: any split acceptable
+        chi = chi_for_output(zspace, [[[0, 1, 2]]], 1, normalize=False)
+        assert chi == TRUE
+
+    def test_impossible_block_contributes_false(self):
+        zspace = ZSpace(4)
+        chi = chi_for_output(zspace, [[[0], [1], [2], [3]]], 1, normalize=False)
+        assert chi == FALSE

@@ -1,0 +1,98 @@
+"""Tests for the strict (one-code-per-class) decomposition baseline.
+
+The paper (Section 1): "If just one code is assigned to each equivalence
+class (called 'strict' decomposition), not all common decomposition
+functions can be detected."  These tests check the strict variant is
+correct, and that non-strict finds at least as much sharing -- strictly
+more on the paper's own running example.
+"""
+
+import random
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.partitions import Partition
+from repro.imodec.chi import chi_for_output, purity_condition
+from repro.imodec.decomposer import decompose_multi
+from repro.imodec.zspace import ZSpace
+
+from .conftest import F1_ROWS, F2_ROWS, table_from_chart
+
+
+def build_vector(tables):
+    from repro.bdd.manager import BDD
+
+    bdd = BDD()
+    n = tables[0].num_vars
+    for i in range(n):
+        bdd.add_var(f"x{i}")
+    return bdd, [t.to_bdd(bdd, list(range(n))) for t in tables]
+
+
+class TestPurityCondition:
+    def test_pure_assignments_accepted(self):
+        z = ZSpace(4)
+        cond = purity_condition(z, [[0, 1], [2, 3]])
+        assert z.contains(cond, {0: True, 1: True, 2: False, 3: False})
+        assert z.contains(cond, {0: False, 1: False, 2: False, 3: False})
+
+    def test_split_class_rejected(self):
+        z = ZSpace(4)
+        cond = purity_condition(z, [[0, 1], [2, 3]])
+        assert not z.contains(cond, {0: True, 1: False, 2: False, 3: False})
+
+    def test_strict_chi_subset_of_nonstrict(self):
+        z = ZSpace(5)
+        classes = [[0, 1], [2, 3], [4]]
+        loose = chi_for_output(z, [classes], 2, normalize=False)
+        strict = chi_for_output(z, [classes], 2, normalize=False, strict=True)
+        assert z.bdd.apply_and(strict, z.bdd.apply_not(loose)) == 0  # subset
+        assert z.count(strict) <= z.count(loose)
+
+
+class TestStrictDecomposition:
+    def test_strict_is_exact(self):
+        rng = random.Random(77)
+        for _ in range(10):
+            tables = [TruthTable.random(6, rng) for _ in range(2)]
+            bdd, nodes = build_vector(tables)
+            result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5], strict=True)
+            assert result.verify(bdd, nodes)
+
+    def test_strict_never_splits_a_class(self):
+        rng = random.Random(5)
+        tables = [TruthTable.random(6, rng) for _ in range(2)]
+        bdd, nodes = build_vector(tables)
+        result = decompose_multi(bdd, nodes, [0, 1, 2, 3], [4, 5], strict=True)
+        for k in range(2):
+            part = result.local_partitions[k]
+            for idx in result.assignments[k]:
+                d = result.d_pool[idx].table
+                for block in part.blocks():
+                    values = {d[v] for v in block}
+                    assert len(values) == 1, "strict d must be class-constant"
+
+    def test_nonstrict_never_needs_more_functions(self):
+        rng = random.Random(31)
+        for _ in range(10):
+            tables = [TruthTable.random(6, rng) for _ in range(3)]
+            bdd, nodes = build_vector(tables)
+            loose = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4, 5])
+            bdd2, nodes2 = build_vector(tables)
+            strict = decompose_multi(bdd2, nodes2, [0, 1, 2], [3, 4, 5], strict=True)
+            assert loose.num_functions <= strict.num_functions
+
+    def test_paper_example_strict_loses_sharing(self):
+        """On the Fig. 2 vector, non-strict achieves q = 3; strict cannot.
+
+        The two shared preferable vertices {G2,G3,G4} and {G4,G5} both split
+        f1's class L1 = G1 u G2 or f2's L2 = G2 u G3, so a strict run finds
+        no function preferable for both outputs and ends at q = 4.
+        """
+        t1, t2 = table_from_chart(F1_ROWS), table_from_chart(F2_ROWS)
+        bdd, nodes = build_vector([t1, t2])
+        loose = decompose_multi(bdd, nodes, [0, 1, 2], [3, 4])
+        bdd2, nodes2 = build_vector([t1, t2])
+        strict = decompose_multi(bdd2, nodes2, [0, 1, 2], [3, 4], strict=True)
+        assert loose.num_functions == 3
+        assert strict.num_functions == 4
+        assert strict.verify(bdd2, nodes2)

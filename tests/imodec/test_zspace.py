@@ -1,0 +1,63 @@
+"""Unit tests for the positional-set z-space."""
+
+import pytest
+
+from repro.decompose.partitions import Partition
+from repro.imodec.zspace import ZSpace
+
+
+class TestZSpace:
+    def test_creation(self):
+        z = ZSpace(5)
+        assert z.p == 5
+        assert z.bdd.num_vars == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZSpace(0)
+
+    def test_vertex_round_trip(self):
+        z = ZSpace(4)
+        vertex = z.vertex_from_classes([1, 3])
+        assert vertex == {0: False, 1: True, 2: False, 3: True}
+        assert z.classes_from_vertex(vertex) == frozenset({1, 3})
+
+    def test_vertex_rejects_unknown_class(self):
+        z = ZSpace(3)
+        with pytest.raises(ValueError):
+            z.vertex_from_classes([5])
+
+    def test_partial_vertex_defaults_to_offset(self):
+        z = ZSpace(3)
+        assert z.classes_from_vertex({1: True}) == frozenset({1})
+
+    def test_function_from_vertex_example4(self):
+        """Example 4: d1 onset = G2 u G3 u G4 -> z = (01110)."""
+        # global partition of the running example (first-occurrence ids)
+        glob = Partition.from_blocks(
+            8, [[0], [1, 2, 4], [3], [5, 6], [7]]
+        )
+        z = ZSpace(5)
+        vertex = z.vertex_from_classes([1, 2, 3])
+        table = z.function_from_vertex(vertex, glob)
+        assert set(table.minterms()) == {1, 2, 4, 3, 5, 6}
+
+    def test_function_from_vertex_checks_p(self):
+        z = ZSpace(3)
+        with pytest.raises(ValueError):
+            z.function_from_vertex({0: True}, Partition([0, 1]))
+
+    def test_conjunctions(self):
+        z = ZSpace(3)
+        pos = z.conj_pos([0, 2])
+        neg = z.conj_neg([0, 2])
+        assert z.bdd.eval(pos, {0: True, 1: False, 2: True})
+        assert not z.bdd.eval(pos, {0: True, 1: True, 2: False})
+        assert z.bdd.eval(neg, {0: False, 1: True, 2: False})
+
+    def test_count_and_contains(self):
+        z = ZSpace(3)
+        chi = z.bdd.apply_or(z.conj_pos([0]), z.conj_pos([1]))
+        assert z.count(chi) == 6  # z0 | z1 over 3 vars
+        assert z.contains(chi, {0: True})
+        assert not z.contains(chi, {2: True})

@@ -1,0 +1,88 @@
+"""Unit tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.io.blif import BlifError, parse_blif, write_blif
+
+FULL_ADDER = """\
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+class TestParse:
+    def test_full_adder(self):
+        net = parse_blif(FULL_ADDER)
+        assert net.name == "fa"
+        assert net.inputs == ["a", "b", "cin"]
+        for row in range(8):
+            a, b, c = bool(row & 1), bool(row & 2), bool(row & 4)
+            out = net.evaluate_outputs({"a": a, "b": b, "cin": c})
+            assert out["sum"] == ((a + b + c) % 2 == 1)
+            assert out["cout"] == (a + b + c >= 2)
+
+    def test_out_of_order_names_sections(self):
+        text = """\
+.model ooo
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+"""
+        net = parse_blif(text)
+        assert net.evaluate_outputs({"a": False}) == {"y": True}
+
+    def test_constant_table(self):
+        net = parse_blif(".model c\n.inputs a\n.outputs k\n.names k\n1\n.end\n")
+        assert net.evaluate_outputs({"a": False}) == {"k": True}
+
+    def test_offset_specified_table(self):
+        # rows with output 0 define the offset; function is the complement
+        net = parse_blif(".model z\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n")
+        assert net.evaluate_outputs({"a": True, "b": True}) == {"y": False}
+        assert net.evaluate_outputs({"a": True, "b": False}) == {"y": True}
+
+    def test_mixed_onset_offset_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n")
+
+    def test_line_continuation(self):
+        text = ".model lc\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_latch_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model s\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n")
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model u\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n")
+
+
+class TestWrite:
+    def test_round_trip(self):
+        net = parse_blif(FULL_ADDER)
+        again = parse_blif(write_blif(net))
+        for row in range(8):
+            env = {"a": bool(row & 1), "b": bool(row & 2), "cin": bool(row & 4)}
+            assert net.evaluate_outputs(env) == again.evaluate_outputs(env)
+
+    def test_constant_round_trip(self):
+        net = parse_blif(".model c\n.inputs a\n.outputs k\n.names k\n1\n.end\n")
+        again = parse_blif(write_blif(net))
+        assert again.evaluate_outputs({"a": True}) == {"k": True}

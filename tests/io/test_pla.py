@@ -1,0 +1,91 @@
+"""Unit tests for the PLA reader/writer."""
+
+import pytest
+
+from repro.io.pla import PlaError, parse_pla, write_pla
+
+RD53_LIKE = """\
+# ones-count fragment
+.i 3
+.o 2
+.ilb x0 x1 x2
+.ob s0 s1
+.p 4
+110 01
+101 01
+011 01
+111 11
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        net = parse_pla(RD53_LIKE)
+        assert net.inputs == ["x0", "x1", "x2"]
+        assert net.outputs == ["s0", "s1"]
+        assert net.evaluate_outputs({"x0": True, "x1": True, "x2": False}) == {
+            "s0": False,
+            "s1": True,
+        }
+        assert net.evaluate_outputs({"x0": True, "x1": True, "x2": True}) == {
+            "s0": True,
+            "s1": True,
+        }
+
+    def test_default_names(self):
+        net = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert net.inputs == ["x0", "x1"]
+        assert net.outputs == ["f0"]
+
+    def test_missing_header(self):
+        with pytest.raises(PlaError):
+            parse_pla("11 1\n")
+
+    def test_bad_cube_width(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 3\n.o 1\n11 1\n.e\n")
+
+    def test_bad_output_char(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n1 x\n.e\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n.magic\n1 1\n.e\n")
+
+    def test_comments_and_blank_lines(self):
+        net = parse_pla("# header\n.i 1\n.o 1\n\n1 1  # cube\n.e\n")
+        assert net.evaluate_outputs({"x0": True}) == {"f0": True}
+
+    def test_dont_care_output_treated_as_offset(self):
+        net = parse_pla(".i 1\n.o 2\n.type fd\n1 1-\n.e\n")
+        assert net.evaluate_outputs({"x0": True}) == {"f0": True, "f1": False}
+
+
+class TestWrite:
+    def test_round_trip(self):
+        net = parse_pla(RD53_LIKE)
+        text = write_pla(net)
+        again = parse_pla(text)
+        for row in range(8):
+            env = {f"x{j}": bool((row >> j) & 1) for j in range(3)}
+            assert net.evaluate_outputs(env) == again.evaluate_outputs(env)
+
+    def test_shared_cubes_merged_in_output_plane(self):
+        net = parse_pla(RD53_LIKE)
+        text = write_pla(net)
+        # the 111 cube feeds both outputs -> one row with output field 11
+        assert any(line == "111 11" for line in text.splitlines())
+
+    def test_rejects_multilevel(self):
+        from repro.boolfunc.sop import Sop
+        from repro.network.network import Network
+
+        net = Network()
+        net.add_input("a")
+        net.add_node("t", ["a"], Sop.from_strings(1, ["1"]))
+        net.add_node("y", ["t"], Sop.from_strings(1, ["1"]))
+        net.set_outputs(["y"])
+        with pytest.raises(ValueError):
+            write_pla(net)

@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for the PLA and BLIF formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.io.blif import parse_blif, write_blif
+from repro.io.pla import parse_pla, write_pla
+from repro.network.network import Network
+
+N_IN = 4
+
+
+@st.composite
+def flat_networks(draw):
+    """Flat multi-output networks (the PLA-expressible shape)."""
+    num_outputs = draw(st.integers(min_value=1, max_value=3))
+    net = Network("fuzz")
+    inputs = [net.add_input(f"x{i}") for i in range(N_IN)]
+    for k in range(num_outputs):
+        num_cubes = draw(st.integers(min_value=0, max_value=4))
+        cubes = []
+        for _ in range(num_cubes):
+            care = draw(st.integers(min_value=0, max_value=(1 << N_IN) - 1))
+            value = draw(st.integers(min_value=0, max_value=(1 << N_IN) - 1))
+            cubes.append(Cube(N_IN, care, value))
+        net.add_node(f"f{k}", inputs, Sop(N_IN, cubes))
+    net.set_outputs([f"f{k}" for k in range(num_outputs)])
+    return net
+
+
+def outputs_equal(a: Network, b: Network) -> bool:
+    for row in range(1 << N_IN):
+        env = {f"x{i}": bool((row >> i) & 1) for i in range(N_IN)}
+        if a.evaluate_outputs(env) != b.evaluate_outputs(env):
+            return False
+    return True
+
+
+class TestPlaRoundTrip:
+    @given(flat_networks())
+    @settings(max_examples=50, deadline=None)
+    def test_write_parse_preserves_functions(self, net):
+        again = parse_pla(write_pla(net))
+        assert again.inputs == net.inputs
+        assert again.outputs == net.outputs
+        assert outputs_equal(net, again)
+
+
+class TestBlifRoundTrip:
+    @given(flat_networks())
+    @settings(max_examples=50, deadline=None)
+    def test_write_parse_preserves_functions(self, net):
+        again = parse_blif(write_blif(net))
+        assert again.inputs == net.inputs
+        assert again.outputs == net.outputs
+        assert outputs_equal(net, again)
+
+    @given(flat_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_double_round_trip_is_stable(self, net):
+        once = write_blif(parse_blif(write_blif(net)))
+        twice = write_blif(parse_blif(once))
+        assert once == twice

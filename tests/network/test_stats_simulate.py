@@ -1,0 +1,67 @@
+"""Unit tests for network statistics and simulation helpers."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+from repro.network.simulate import EXHAUSTIVE_LIMIT, input_vectors
+from repro.network.stats import network_stats
+
+
+def chain_network(depth):
+    net = Network("chain")
+    net.add_input("a")
+    net.add_input("b")
+    prev = "a"
+    for i in range(depth):
+        name = f"n{i}"
+        net.add_node(name, [prev, "b"], Sop.from_strings(2, ["11"]))
+        prev = name
+    net.set_outputs([prev])
+    return net
+
+
+class TestStats:
+    def test_depth_counts_levels(self):
+        stats = network_stats(chain_network(4))
+        assert stats.depth == 4
+        assert stats.num_nodes == 4
+        assert stats.num_inputs == 2
+        assert stats.num_outputs == 1
+
+    def test_literals_and_fanin(self):
+        net = Network("lit")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_input("c")
+        net.add_node("y", ["a", "b", "c"], Sop.from_strings(3, ["11-", "--1"]))
+        net.set_outputs(["y"])
+        stats = network_stats(net)
+        assert stats.num_literals == 3
+        assert stats.max_fanin == 3
+        assert stats.depth == 1
+
+    def test_str_rendering(self):
+        text = str(network_stats(chain_network(2)))
+        assert "nodes=2" in text and "depth=2" in text
+
+
+class TestInputVectors:
+    def test_exhaustive_below_limit(self):
+        inputs = [f"x{i}" for i in range(3)]
+        vectors = list(input_vectors(inputs, num_random=5, seed=0))
+        assert len(vectors) == 8
+        assert len({tuple(sorted(v.items())) for v in vectors}) == 8
+
+    def test_random_above_limit(self):
+        inputs = [f"x{i}" for i in range(EXHAUSTIVE_LIMIT + 1)]
+        vectors = list(input_vectors(inputs, num_random=7, seed=1))
+        assert len(vectors) == 7
+        for v in vectors:
+            assert set(v) == set(inputs)
+
+    def test_random_is_seeded(self):
+        inputs = [f"x{i}" for i in range(EXHAUSTIVE_LIMIT + 1)]
+        a = list(input_vectors(inputs, num_random=4, seed=9))
+        b = list(input_vectors(inputs, num_random=4, seed=9))
+        assert a == b

@@ -1,0 +1,93 @@
+"""Unit tests for bound-set selection."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.partitioning.variables import choose_bound_set, score_bound_set
+
+
+def build(tables):
+    bdd = BDD()
+    n = tables[0].num_vars
+    for i in range(n):
+        bdd.add_var(f"x{i}")
+    return bdd, [t.to_bdd(bdd, list(range(n))) for t in tables]
+
+
+class TestScore:
+    def test_score_components(self):
+        # f = (x0 & x1) ^ x2: BS {x0,x1} -> 2 classes; BS {x0,x2} -> more
+        t = TruthTable.from_function(3, lambda a, b, c: (a and b) != c)
+        bdd, nodes = build([t])
+        p_good = score_bound_set(bdd, nodes, [0, 1])[0]
+        p_bad = score_bound_set(bdd, nodes, [0, 2])[0]
+        assert p_good == 2
+        assert p_bad > p_good
+
+    def test_shared_scorer_prefers_common_variables(self):
+        # f0 depends on x0,x1; f1 depends on x0,x2: x0 is common
+        t0 = TruthTable.from_function(4, lambda a, b, c, d: a and b)
+        t1 = TruthTable.from_function(4, lambda a, b, c, d: a or c)
+        bdd, nodes = build([t0, t1])
+        shared = score_bound_set(bdd, nodes, [0], scorer="shared")
+        private = score_bound_set(bdd, nodes, [3], scorer="shared")
+        assert shared[1] < private[1]  # more dependence = smaller key
+
+
+class TestChooseBoundSet:
+    def test_finds_natural_bound_set(self):
+        # f = maj(x0,x1,x2) ^ (x3 & x4): {x0,x1,x2} has multiplicity 2... but
+        # any 3-subset works differently; the chosen set must be among the best
+        t = TruthTable.from_function(
+            5, lambda a, b, c, d, e: (a + b + c >= 2) != (d and e)
+        )
+        bdd, nodes = build([t])
+        bs, fs = choose_bound_set(bdd, nodes, [0, 1, 2, 3, 4], 3, strategy="exhaustive")
+        assert sorted(bs + fs) == [0, 1, 2, 3, 4]
+        assert score_bound_set(bdd, nodes, bs)[0] == 2
+        assert bs == [0, 1, 2]
+
+    def test_greedy_reasonable(self):
+        t = TruthTable.from_function(
+            5, lambda a, b, c, d, e: (a + b + c >= 2) != (d and e)
+        )
+        bdd, nodes = build([t])
+        bs, _ = choose_bound_set(bdd, nodes, [0, 1, 2, 3, 4], 3, strategy="greedy")
+        assert len(bs) == 3
+        # greedy should also land on a multiplicity-2 bound set here
+        assert score_bound_set(bdd, nodes, bs)[0] <= 4
+
+    def test_random_strategy_is_valid_partition(self):
+        rng = random.Random(5)
+        t = TruthTable.random(5, rng)
+        bdd, nodes = build([t])
+        bs, fs = choose_bound_set(
+            bdd, nodes, [0, 1, 2, 3, 4], 2, strategy="random", rng=rng
+        )
+        assert len(bs) == 2 and len(fs) == 3
+        assert not set(bs) & set(fs)
+
+    def test_multi_output_scoring(self):
+        # two outputs with a shared natural bound set
+        t1 = TruthTable.from_function(4, lambda a, b, c, d: (a ^ b) and c)
+        t2 = TruthTable.from_function(4, lambda a, b, c, d: (a ^ b) or d)
+        bdd, nodes = build([t1, t2])
+        bs, _ = choose_bound_set(bdd, nodes, [0, 1, 2, 3], 2, strategy="exhaustive")
+        assert bs == [0, 1]
+
+    def test_bound_size_validation(self):
+        t = TruthTable.constant(3, True)
+        bdd, nodes = build([t])
+        with pytest.raises(ValueError):
+            choose_bound_set(bdd, nodes, [0, 1, 2], 3)
+        with pytest.raises(ValueError):
+            choose_bound_set(bdd, nodes, [0, 1, 2], 0)
+
+    def test_unknown_strategy(self):
+        t = TruthTable.constant(3, True)
+        bdd, nodes = build([t])
+        with pytest.raises(ValueError):
+            choose_bound_set(bdd, nodes, [0, 1, 2], 1, strategy="nope")

@@ -1,0 +1,165 @@
+"""Property-based tests: the BDD package against the truth-table oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.satcount import satcount
+from repro.boolfunc.truthtable import TruthTable
+
+N_VARS = 4
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N_VARS)) - 1)
+
+
+def fresh_manager():
+    bdd = BDD()
+    for i in range(N_VARS):
+        bdd.add_var(f"x{i}")
+    return bdd
+
+
+def to_node(bdd, bits):
+    return bdd.from_truth_bits(bits, list(range(N_VARS)))
+
+
+def to_bits(bdd, node):
+    return bdd.to_truth_bits(node, list(range(N_VARS)))
+
+
+FULL = (1 << (1 << N_VARS)) - 1
+
+
+class TestCanonicity:
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_equal_functions_equal_nodes(self, a, b):
+        bdd = fresh_manager()
+        na, nb = to_node(bdd, a), to_node(bdd, b)
+        assert (na == nb) == (a == b)
+
+    @given(TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, bits):
+        bdd = fresh_manager()
+        assert to_bits(bdd, to_node(bdd, bits)) == bits
+
+    @given(TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        assert bdd.apply_not(bdd.apply_not(n)) == n
+
+
+class TestBooleanAlgebra:
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_ops_match_oracle(self, a, b):
+        bdd = fresh_manager()
+        na, nb = to_node(bdd, a), to_node(bdd, b)
+        assert to_bits(bdd, bdd.apply_and(na, nb)) == a & b
+        assert to_bits(bdd, bdd.apply_or(na, nb)) == a | b
+        assert to_bits(bdd, bdd.apply_xor(na, nb)) == a ^ b
+        assert to_bits(bdd, bdd.apply_not(na)) == (~a) & FULL
+
+    @given(TABLE_BITS, TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_ite_definition(self, f, g, h):
+        bdd = fresh_manager()
+        nf, ng, nh = (to_node(bdd, x) for x in (f, g, h))
+        ite = bdd.ite(nf, ng, nh)
+        expected = (f & g) | ((~f & FULL) & h)
+        assert to_bits(bdd, ite) == expected
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan(self, a, b):
+        bdd = fresh_manager()
+        na, nb = to_node(bdd, a), to_node(bdd, b)
+        lhs = bdd.apply_not(bdd.apply_and(na, nb))
+        rhs = bdd.apply_or(bdd.apply_not(na), bdd.apply_not(nb))
+        assert lhs == rhs
+
+
+class TestCofactorQuantify:
+    @given(TABLE_BITS, st.integers(min_value=0, max_value=N_VARS - 1), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_cofactor_matches_oracle(self, bits, var, value):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        table = TruthTable(N_VARS, bits)
+        cof = bdd.cofactor(n, var, value)
+        oracle = table.cofactor(var, value)
+        remaining = [lvl for lvl in range(N_VARS) if lvl != var]
+        assert TruthTable(N_VARS - 1, 0).full_mask(N_VARS - 1) & bdd.to_truth_bits(cof, remaining) == oracle.bits
+
+    @given(TABLE_BITS, st.integers(min_value=0, max_value=N_VARS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_exists_is_or_of_cofactors(self, bits, var):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        assert bdd.exists(n, [var]) == bdd.apply_or(
+            bdd.cofactor(n, var, False), bdd.cofactor(n, var, True)
+        )
+
+    @given(TABLE_BITS, st.integers(min_value=0, max_value=N_VARS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_forall_is_and_of_cofactors(self, bits, var):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        assert bdd.forall(n, [var]) == bdd.apply_and(
+            bdd.cofactor(n, var, False), bdd.cofactor(n, var, True)
+        )
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_shannon_expansion(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        x = bdd.var(0)
+        rebuilt = bdd.ite(x, bdd.cofactor(n, 0, True), bdd.cofactor(n, 0, False))
+        assert rebuilt == n
+
+
+class TestCompose:
+    @given(TABLE_BITS, TABLE_BITS, st.integers(min_value=0, max_value=N_VARS - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_compose_matches_pointwise(self, f_bits, g_bits, var):
+        bdd = fresh_manager()
+        nf, ng = to_node(bdd, f_bits), to_node(bdd, g_bits)
+        composed = bdd.compose(nf, {var: ng})
+        for row in range(1 << N_VARS):
+            env = {i: bool((row >> i) & 1) for i in range(N_VARS)}
+            inner = bdd.eval(ng, env)
+            env2 = dict(env)
+            env2[var] = inner
+            assert bdd.eval(composed, env) == bdd.eval(nf, env2)
+
+
+class TestSatcount:
+    @given(TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_satcount_is_popcount(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        assert satcount(bdd, n, range(N_VARS)) == bin(bits).count("1")
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_complement_counts(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        total = satcount(bdd, n, range(N_VARS)) + satcount(bdd, bdd.apply_not(n), range(N_VARS))
+        assert total == 1 << N_VARS
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_sat_one_satisfies(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        model = bdd.sat_one(n)
+        if bits == 0:
+            assert model is None
+        else:
+            full = {i: model.get(i, False) for i in range(N_VARS)}
+            assert bdd.eval(n, full)

@@ -1,0 +1,134 @@
+"""Property-based tests: decomposition invariants on random functions.
+
+These are the paper's theorems exercised as executable properties:
+Decomposition Condition 1 (single-output), Decomposition Condition 2 and
+Theorem 1 (constructable pool suffices), Property 1 (lower bound), and the
+exactness of every produced decomposition.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.decompose.compat import codewidth, local_partition
+from repro.decompose.partitions import Partition
+from repro.decompose.single import decompose_single
+from repro.imodec.decomposer import decompose_multi
+from repro.imodec.globalpart import global_partition, is_constructable
+
+N = 5  # total variables
+BS = [0, 1, 2]
+FS = [3, 4]
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+def build(bits_list):
+    bdd = BDD()
+    for i in range(N):
+        bdd.add_var(f"x{i}")
+    nodes = [bdd.from_truth_bits(bits, list(range(N))) for bits in bits_list]
+    return bdd, nodes
+
+
+def d_partition(table: TruthTable) -> Partition:
+    return Partition([1 if table[v] else 0 for v in range(len(table))])
+
+
+class TestSingleOutput:
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_decomposition_is_exact(self, bits):
+        bdd, (f,) = build([bits])
+        result = decompose_single(bdd, f, BS, FS)
+        assert result.verify(bdd, f)
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_decomposition_condition_1(self, bits):
+        """The product of the Pi_d refines Pi_f."""
+        bdd, (f,) = build([bits])
+        result = decompose_single(bdd, f, BS, FS)
+        if result.d_tables:
+            product = Partition.product_all([d_partition(t) for t in result.d_tables])
+            assert product.refines(result.partition)
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_codewidth_is_minimal(self, bits):
+        bdd, (f,) = build([bits])
+        result = decompose_single(bdd, f, BS, FS)
+        l = result.partition.num_blocks
+        assert len(result.d_tables) == (l - 1).bit_length()
+
+
+class TestMultiOutput:
+    @given(st.lists(TABLE_BITS, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_is_exact(self, bits_list):
+        bdd, nodes = build(bits_list)
+        result = decompose_multi(bdd, nodes, BS, FS)
+        assert result.verify(bdd, nodes)
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem1_pool_is_constructable(self, bits_list):
+        """Every selected decomposition function is constructable (Thm 1)."""
+        bdd, nodes = build(bits_list)
+        result = decompose_multi(bdd, nodes, BS, FS)
+        for d in result.d_pool:
+            assert is_constructable(d.table, result.global_part)
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property1_lower_bound(self, bits_list):
+        bdd, nodes = build(bits_list)
+        result = decompose_multi(bdd, nodes, BS, FS)
+        assert result.num_functions >= result.lower_bound()
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_sharing_never_hurts(self, bits_list):
+        """q never exceeds the sum of the individual codewidths."""
+        bdd, nodes = build(bits_list)
+        result = decompose_multi(bdd, nodes, BS, FS)
+        assert result.num_functions <= result.num_functions_unshared
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_condition_2(self, bits_list):
+        """Each output's assigned partitions refine its local partition."""
+        bdd, nodes = build(bits_list)
+        result = decompose_multi(bdd, nodes, BS, FS)
+        for k in range(len(nodes)):
+            tables = [result.d_pool[i].table for i in result.assignments[k]]
+            if tables:
+                product = Partition.product_all([d_partition(t) for t in tables])
+                assert product.refines(result.local_partitions[k])
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_global_partition_is_product(self, bits_list):
+        bdd, nodes = build(bits_list)
+        locals_ = [local_partition(bdd, f, BS) for f in nodes]
+        glob = global_partition(locals_)
+        for part in locals_:
+            assert glob.refines(part)
+        # coarsest: the product has exactly the distinct label tuples
+        explicit = Partition.from_keys(
+            [tuple(p.block_of(v) for p in locals_) for v in range(1 << len(BS))]
+        )
+        assert glob == explicit
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_users_are_consistent(self, a, b):
+        bdd, nodes = build([a, b])
+        result = decompose_multi(bdd, nodes, BS, FS)
+        for idx, d in enumerate(result.d_pool):
+            for k in d.users:
+                assert idx in result.assignments[k]
+        for k, assigned in enumerate(result.assignments):
+            assert len(assigned) == result.codewidths[k]
+            for idx in assigned:
+                assert k in result.d_pool[idx].users

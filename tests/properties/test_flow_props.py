@@ -1,0 +1,82 @@
+"""Property-based tests: the synthesis flow end to end on random circuits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic.rugged import rugged
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
+from repro.mapping.lut import check_k_feasible
+from repro.mapping.structural import synthesize_structural
+from repro.mapping.xc3000 import pack_xc3000
+from repro.network.network import Network
+from repro.network.simulate import equivalent
+from repro.network.sweep import sweep
+
+N = 6
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+def network_from_bits(bits_list):
+    net = Network("prop")
+    for i in range(N):
+        net.add_input(f"x{i}")
+    for k, bits in enumerate(bits_list):
+        cover = Sop.from_truthtable(TruthTable(N, bits))
+        net.add_node(f"f{k}", [f"x{i}" for i in range(N)], cover)
+    net.set_outputs([f"f{k}" for k in range(len(bits_list))])
+    return net
+
+
+class TestCollapsedFlow:
+    @given(st.lists(TABLE_BITS, min_size=1, max_size=2), st.sampled_from([4, 5]))
+    @settings(max_examples=20, deadline=None)
+    def test_multi_mode_exact_and_feasible(self, bits_list, k):
+        net = network_from_bits(bits_list)
+        result = synthesize(net, FlowConfig(k=k, mode="multi"))
+        check_k_feasible(result.network, k)
+        assert verify_flow(net, result)
+
+    @given(st.lists(TABLE_BITS, min_size=1, max_size=2), st.sampled_from([4, 5]))
+    @settings(max_examples=20, deadline=None)
+    def test_single_mode_exact_and_feasible(self, bits_list, k):
+        net = network_from_bits(bits_list)
+        result = synthesize(net, FlowConfig(k=k, mode="single"))
+        check_k_feasible(result.network, k)
+        assert verify_flow(net, result)
+
+    @given(st.lists(TABLE_BITS, min_size=2, max_size=2))
+    @settings(max_examples=15, deadline=None)
+    def test_packing_is_legal(self, bits_list):
+        net = network_from_bits(bits_list)
+        result = synthesize(net, FlowConfig(k=5, mode="multi"))
+        packing = pack_xc3000(result.network)
+        lut = result.network
+        for a, b in packing.pairs:
+            assert len(lut.nodes[a].fanins) <= 4
+            assert len(lut.nodes[b].fanins) <= 4
+            assert len(set(lut.nodes[a].fanins) | set(lut.nodes[b].fanins)) <= 5
+        named = {n for pair in packing.pairs for n in pair} | set(packing.singles)
+        assert named == {n for n, node in lut.nodes.items() if node.fanins}
+
+
+class TestOptimizationPasses:
+    @given(st.lists(TABLE_BITS, min_size=1, max_size=2))
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_preserves_function(self, bits_list):
+        net = network_from_bits(bits_list)
+        reference = net.copy()
+        sweep(net)
+        assert equivalent(net, reference)
+
+    @given(st.lists(TABLE_BITS, min_size=1, max_size=2))
+    @settings(max_examples=10, deadline=None)
+    def test_rugged_then_structural_flow(self, bits_list):
+        net = network_from_bits(bits_list)
+        reference = net.copy()
+        rugged(net)
+        assert equivalent(net, reference)
+        result = synthesize_structural(net, FlowConfig(k=5, mode="multi"))
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(reference, result)

@@ -1,0 +1,77 @@
+"""Property-based tests for the operator-overloaded Function wrapper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, Function
+
+N = 4
+BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+def as_function(bdd, bits):
+    return Function(bdd, bdd.from_truth_bits(bits, list(range(N))))
+
+
+def fresh():
+    bdd = BDD()
+    for i in range(N):
+        bdd.add_var(f"x{i}")
+    return bdd
+
+
+class TestAlgebraicLaws:
+    @given(BITS, BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_distributivity(self, a, b, c):
+        bdd = fresh()
+        f, g, h = (as_function(bdd, x) for x in (a, b, c))
+        assert (f & (g | h)) == ((f & g) | (f & h))
+        assert (f | (g & h)) == ((f | g) & (f | h))
+
+    @given(BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_absorption(self, a, b):
+        bdd = fresh()
+        f, g = as_function(bdd, a), as_function(bdd, b)
+        assert (f & (f | g)) == f
+        assert (f | (f & g)) == f
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_identities(self, a):
+        bdd = fresh()
+        f = as_function(bdd, a)
+        assert (f ^ f).is_false
+        assert (f ^ ~f).is_true
+        assert (f ^ False) == f
+
+    @given(BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_implication_definition(self, a, b):
+        bdd = fresh()
+        f, g = as_function(bdd, a), as_function(bdd, b)
+        assert f.implies(g) == (~f | g)
+
+    @given(BITS, BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_ite_decomposition(self, a, b, c):
+        bdd = fresh()
+        f, g, h = (as_function(bdd, x) for x in (a, b, c))
+        assert f.ite(g, h) == ((f & g) | (~f & h))
+
+
+class TestCounting:
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_popcount(self, a):
+        bdd = fresh()
+        f = as_function(bdd, a)
+        assert f.count(N) == bin(a).count("1")
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_quantifier_duality(self, a):
+        bdd = fresh()
+        f = as_function(bdd, a)
+        assert f.exists("x0") == ~((~f).forall("x0"))

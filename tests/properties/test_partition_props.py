@@ -1,0 +1,99 @@
+"""Property-based tests: the partition algebra of Section 2."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decompose.partitions import Partition
+
+SIZE = 8
+LABELS = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=SIZE, max_size=SIZE
+)
+
+
+class TestRefinement:
+    @given(LABELS)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, labels):
+        p = Partition(labels)
+        assert p.refines(p)
+
+    @given(LABELS, LABELS)
+    @settings(max_examples=60, deadline=None)
+    def test_antisymmetric(self, a_labels, b_labels):
+        a, b = Partition(a_labels), Partition(b_labels)
+        if a.refines(b) and b.refines(a):
+            assert a == b
+
+    @given(LABELS, LABELS, LABELS)
+    @settings(max_examples=60, deadline=None)
+    def test_transitive(self, a_labels, b_labels, c_labels):
+        a, b, c = Partition(a_labels), Partition(b_labels), Partition(c_labels)
+        if a.refines(b) and b.refines(c):
+            assert a.refines(c)
+
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_extremes(self, labels):
+        p = Partition(labels)
+        assert Partition.discrete(SIZE).refines(p)
+        assert p.refines(Partition.unit(SIZE))
+
+
+class TestProduct:
+    @given(LABELS, LABELS)
+    @settings(max_examples=60, deadline=None)
+    def test_product_refines_factors(self, a_labels, b_labels):
+        a, b = Partition(a_labels), Partition(b_labels)
+        prod = a * b
+        assert prod.refines(a)
+        assert prod.refines(b)
+
+    @given(LABELS, LABELS, LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_product_is_coarsest(self, a_labels, b_labels, c_labels):
+        """Any common refinement refines the product."""
+        a, b, c = Partition(a_labels), Partition(b_labels), Partition(c_labels)
+        if c.refines(a) and c.refines(b):
+            assert c.refines(a * b)
+
+    @given(LABELS, LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_commutative(self, a_labels, b_labels):
+        a, b = Partition(a_labels), Partition(b_labels)
+        assert a * b == b * a
+
+    @given(LABELS, LABELS, LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_associative(self, a_labels, b_labels, c_labels):
+        a, b, c = Partition(a_labels), Partition(b_labels), Partition(c_labels)
+        assert (a * b) * c == a * (b * c)
+
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, labels):
+        p = Partition(labels)
+        assert p * p == p
+
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_unit_identity(self, labels):
+        p = Partition(labels)
+        assert p * Partition.unit(SIZE) == p
+        assert p * Partition.discrete(SIZE) == Partition.discrete(SIZE)
+
+
+class TestStructure:
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_partition_the_set(self, labels):
+        p = Partition(labels)
+        seen = sorted(e for block in p.blocks() for e in block)
+        assert seen == list(range(SIZE))
+        assert sum(p.block_sizes()) == SIZE
+
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_from_blocks_round_trip(self, labels):
+        p = Partition(labels)
+        assert Partition.from_blocks(SIZE, p.blocks()) == p

@@ -1,0 +1,85 @@
+"""Property-based tests: two-level minimization against truth tables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.twolevel.espresso import espresso, expand, irredundant, reduce_cover
+from repro.twolevel.tautology import complement, covers_cube, is_tautology
+
+N = 5
+
+
+@st.composite
+def covers(draw, max_cubes=8):
+    num = draw(st.integers(min_value=0, max_value=max_cubes))
+    cubes = []
+    for _ in range(num):
+        care = draw(st.integers(min_value=0, max_value=(1 << N) - 1))
+        value = draw(st.integers(min_value=0, max_value=(1 << N) - 1))
+        cubes.append(Cube(N, care, value))
+    return Sop(N, cubes)
+
+
+class TestTautologyComplement:
+    @given(covers())
+    @settings(max_examples=60, deadline=None)
+    def test_tautology_matches_oracle(self, cover):
+        expected = cover.to_truthtable().bits == (1 << (1 << N)) - 1
+        assert is_tautology(cover) == expected
+
+    @given(covers())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_matches_oracle(self, cover):
+        assert complement(cover).to_truthtable() == ~cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_cover_and_complement_disjoint_and_complete(self, cover):
+        comp = complement(cover)
+        t = cover.to_truthtable()
+        tc = comp.to_truthtable()
+        assert (t.bits & tc.bits) == 0
+        assert (t.bits | tc.bits) == (1 << (1 << N)) - 1
+
+    @given(covers(), st.integers(min_value=0, max_value=(1 << N) - 1),
+           st.integers(min_value=0, max_value=(1 << N) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_covers_cube_matches_oracle(self, cover, care, value):
+        cube = Cube(N, care, value)
+        t = cover.to_truthtable()
+        expected = all(t[m] for m in cube.minterms())
+        assert covers_cube(cover, cube) == expected
+
+
+class TestEspressoLoop:
+    @given(covers())
+    @settings(max_examples=50, deadline=None)
+    def test_expand_preserves_function(self, cover):
+        assert expand(cover).to_truthtable() == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=50, deadline=None)
+    def test_irredundant_preserves_function(self, cover):
+        assert irredundant(cover).to_truthtable() == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_preserves_function(self, cover):
+        assert reduce_cover(cover).to_truthtable() == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_espresso_preserves_and_never_grows(self, cover):
+        minimized = espresso(cover)
+        assert minimized.to_truthtable() == cover.to_truthtable()
+        assert len(minimized) <= max(len(cover), 1)
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_espresso_output_is_irredundant(self, cover):
+        minimized = espresso(cover)
+        for i, cube in enumerate(minimized.cubes):
+            rest = Sop(N, [c for j, c in enumerate(minimized.cubes) if j != i])
+            assert not covers_cube(rest, cube), "espresso left a redundant cube"

@@ -1,0 +1,105 @@
+"""Unit tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.blif import parse_blif
+
+PLA = """\
+.i 6
+.o 2
+.p 4
+11---- 10
+--11-- 11
+----11 01
+111--- 10
+.e
+"""
+
+BLIF = """\
+.model tiny
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+"""
+
+
+@pytest.fixture
+def pla_file(tmp_path):
+    path = tmp_path / "design.pla"
+    path.write_text(PLA)
+    return path
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    path = tmp_path / "tiny.blif"
+    path.write_text(BLIF)
+    return path
+
+
+class TestInfo:
+    def test_info_pla(self, pla_file, capsys):
+        assert main(["info", str(pla_file)]) == 0
+        out = capsys.readouterr().out
+        assert "inputs=6" in out and "outputs=2" in out
+
+    def test_info_blif(self, blif_file, capsys):
+        assert main(["info", str(blif_file)]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_synth_multi_with_output(self, pla_file, tmp_path, capsys):
+        out_path = tmp_path / "mapped.blif"
+        rc = main(["synth", str(pla_file), "--mode", "multi", "-o", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "CLBs" in out
+        mapped = parse_blif(out_path.read_text())
+        assert mapped.outputs  # netlist written and parseable
+
+    def test_synth_single_mode(self, pla_file, capsys):
+        assert main(["synth", str(pla_file), "--mode", "single"]) == 0
+        assert "mode = single" in capsys.readouterr().out
+
+    def test_synth_k4_skips_packing(self, pla_file, capsys):
+        assert main(["synth", str(pla_file), "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 4" in out
+        assert "CLBs" not in out
+
+    def test_synth_rugged_structural(self, blif_file, capsys):
+        rc = main(["synth", str(blif_file), "--rugged", "--structural", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rugged:" in out
+        assert "verified" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestStrictFlag:
+    def test_synth_strict(self, pla_file, capsys):
+        assert main(["synth", str(pla_file), "--strict"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/file.pla"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pla"
+        bad.write_text(".i 2\n.o 1\n.unknown\n11 1\n.e\n")
+        assert main(["info", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

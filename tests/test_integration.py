@@ -1,0 +1,74 @@
+"""Cross-module integration tests: complete pipelines on real circuits."""
+
+import random
+
+import pytest
+
+from repro.algebraic.rugged import rugged
+from repro.benchcircuits import get_circuit
+from repro.io.blif import parse_blif, write_blif
+from repro.io.pla import parse_pla, write_pla
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
+from repro.mapping.lut import check_k_feasible, level_count, lut_count
+from repro.mapping.structural import synthesize_structural
+from repro.mapping.xc3000 import pack_xc3000
+from repro.network.simulate import equivalent
+
+
+class TestCollapsedPipeline:
+    @pytest.mark.parametrize("name", ["rd53", "rd73", "z4ml", "f51m"])
+    def test_multi_flow_to_clbs(self, name):
+        net = get_circuit(name).build()
+        result = synthesize(net, FlowConfig(k=5, mode="multi"))
+        assert verify_flow(net, result)
+        check_k_feasible(result.network, 5)
+        packing = pack_xc3000(result.network)
+        assert packing.num_clbs <= lut_count(result.network)
+        assert level_count(result.network) >= 1
+
+    @pytest.mark.parametrize("name", ["rd73", "5xp1", "clip"])
+    def test_multi_never_loses_to_single(self, name):
+        net = get_circuit(name).build()
+        multi = synthesize(net, FlowConfig(k=5, mode="multi"))
+        single = synthesize(net, FlowConfig(k=5, mode="single"))
+        assert pack_xc3000(multi.network).num_clbs <= pack_xc3000(single.network).num_clbs
+
+
+class TestStructuralPipeline:
+    @pytest.mark.parametrize("name", ["rd84", "C499"])
+    def test_rugged_then_map(self, name):
+        net = get_circuit(name).build()
+        pre = rugged(net.copy())
+        assert equivalent(net, pre, num_random=128)
+        result = synthesize_structural(pre, FlowConfig(k=5, mode="multi"))
+        check_k_feasible(result.network, 5)
+        assert verify_flow_sim(net, result, num_random=128)
+
+
+class TestNetlistExport:
+    def test_mapped_network_round_trips_through_blif(self):
+        net = get_circuit("rd53").build()
+        result = synthesize(net, FlowConfig(k=4, mode="multi"))
+        text = write_blif(result.network)
+        again = parse_blif(text)
+        for row in range(32):
+            env = {f"x{i}": bool((row >> i) & 1) for i in range(5)}
+            assert again.evaluate(env) == result.network.evaluate(env)
+
+    def test_benchmark_pla_round_trip(self):
+        net = get_circuit("misex1").build()
+        text = write_pla(net)
+        again = parse_pla(text)
+        rng = random.Random(0)
+        for _ in range(64):
+            env = {name: bool(rng.getrandbits(1)) for name in net.inputs}
+            assert net.evaluate_outputs(env) == again.evaluate_outputs(env)
+
+
+class TestDeterminism:
+    def test_flow_is_deterministic(self):
+        net = get_circuit("rd73").build()
+        a = synthesize(net, FlowConfig(k=5, mode="multi"))
+        b = synthesize(get_circuit("rd73").build(), FlowConfig(k=5, mode="multi"))
+        assert a.num_luts == b.num_luts
+        assert write_blif(a.network) == write_blif(b.network)

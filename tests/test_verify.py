@@ -1,0 +1,79 @@
+"""Unit tests for the public equivalence checker."""
+
+import pytest
+
+from repro.boolfunc.sop import Sop
+from repro.network.network import Network
+from repro.verify import check_equivalence
+
+
+def make_net(cover_rows, name="a"):
+    net = Network(name)
+    for sig in ("p", "q", "r"):
+        net.add_input(sig)
+    net.add_node("y", ["p", "q", "r"], Sop.from_strings(3, cover_rows))
+    net.set_outputs(["y"])
+    return net
+
+
+class TestBddCheck:
+    def test_equivalent_different_structure(self):
+        a = make_net(["11-", "1-1"])           # p&q | p&r
+        b = Network("b")
+        for sig in ("p", "q", "r"):
+            b.add_input(sig)
+        b.add_node("t", ["q", "r"], Sop.from_strings(2, ["1-", "-1"]))
+        b.add_node("y", ["p", "t"], Sop.from_strings(2, ["11"]))
+        b.set_outputs(["y"])
+        result = check_equivalence(a, b)
+        assert result.equivalent
+        assert result.method == "bdd"
+        assert bool(result)
+
+    def test_counterexample_produced(self):
+        a = make_net(["11-"])
+        b = make_net(["1--"], name="b")
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        assert result.failing_output == "y"
+        cx = result.counterexample
+        assert a.evaluate_outputs(cx)["y"] != b.evaluate_outputs(cx)["y"]
+
+    def test_interface_mismatch_rejected(self):
+        a = make_net(["11-"])
+        b = Network("b")
+        b.add_input("p")
+        b.set_outputs(["p"])
+        with pytest.raises(ValueError):
+            check_equivalence(a, b)
+
+
+class TestSimulationFallback:
+    def test_forced_simulation(self):
+        a = make_net(["11-", "--1"])
+        b = make_net(["11-", "--1"], name="b")
+        result = check_equivalence(a, b, method="simulation")
+        assert result.equivalent
+        assert result.method == "simulation"
+
+    def test_simulation_finds_difference(self):
+        a = make_net(["111"])
+        b = make_net(["110"], name="b")
+        result = check_equivalence(a, b, method="simulation")
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_auto_falls_back_on_overflow(self):
+        a = make_net(["11-", "1-1"])
+        b = make_net(["11-", "1-1"], name="b")
+        result = check_equivalence(a, b, max_nodes=2)
+        assert result.equivalent
+        assert result.method == "simulation"
+
+    def test_bdd_method_ignores_budget(self):
+        """Explicit method='bdd' runs the exact check without the node cap."""
+        a = make_net(["11-"])
+        b = make_net(["11-"], name="b")
+        result = check_equivalence(a, b, method="bdd", max_nodes=2)
+        assert result.equivalent
+        assert result.method == "bdd"

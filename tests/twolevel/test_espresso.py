@@ -1,0 +1,85 @@
+"""Unit tests for the espresso loop."""
+
+import random
+
+from repro.boolfunc.sop import Sop
+from repro.twolevel.espresso import espresso, expand, irredundant, reduce_cover
+
+
+class TestExpand:
+    def test_expand_merges_adjacent_minterms(self):
+        # f = ab + a~b should expand to a
+        s = Sop.from_strings(2, ["11", "10"])
+        e = expand(s)
+        assert e.to_truthtable() == s.to_truthtable()
+        assert len(e) == 1
+        assert str(e.cubes[0]) == "1-"
+
+    def test_expand_preserves_function_random(self):
+        rng = random.Random(77)
+        for _ in range(40):
+            s = Sop.random(5, rng.randint(1, 7), rng)
+            assert expand(s).to_truthtable() == s.to_truthtable()
+
+
+class TestIrredundant:
+    def test_removes_contained_cube(self):
+        s = Sop.from_strings(3, ["1--", "11-"])
+        r = irredundant(s)
+        assert len(r) == 1
+        assert r.to_truthtable() == s.to_truthtable()
+
+    def test_removes_union_covered_cube(self):
+        # -1- is covered by 11- | 01- ... build: 1--, 0--: middle cube redundant
+        s = Sop.from_strings(2, ["1-", "0-", "-1"])
+        r = irredundant(s)
+        assert r.to_truthtable() == s.to_truthtable()
+        assert len(r) == 2
+
+    def test_preserves_function_random(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            s = Sop.random(5, rng.randint(1, 8), rng)
+            assert irredundant(s).to_truthtable() == s.to_truthtable()
+
+
+class TestReduce:
+    def test_preserves_function_random(self):
+        rng = random.Random(8)
+        for _ in range(40):
+            s = Sop.random(5, rng.randint(1, 8), rng)
+            assert reduce_cover(s).to_truthtable() == s.to_truthtable()
+
+
+class TestEspresso:
+    def test_classic_example(self):
+        # f = ~a~b + ~ab + ab = ~a + b
+        s = Sop.from_strings(2, ["00", "01", "11"])
+        m = espresso(s)
+        assert m.to_truthtable() == s.to_truthtable()
+        assert len(m) == 2
+        assert m.num_literals() == 2
+
+    def test_tautology_collapses(self):
+        s = Sop.from_strings(1, ["1", "0"])
+        m = espresso(s)
+        assert len(m) == 1
+        assert m.cubes[0].num_literals() == 0
+
+    def test_never_worse_than_input(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            s = Sop.random(5, rng.randint(2, 9), rng)
+            m = espresso(s)
+            assert m.to_truthtable() == s.to_truthtable()
+            assert len(m) <= len(s)
+
+    def test_empty_cover(self):
+        s = Sop.zero(3)
+        assert espresso(s).to_truthtable().bits == 0
+
+    def test_xor_stays_two_cubes(self):
+        s = Sop.from_strings(2, ["10", "01"])
+        m = espresso(s)
+        assert m.to_truthtable() == s.to_truthtable()
+        assert len(m) == 2

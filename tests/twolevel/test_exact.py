@@ -1,0 +1,107 @@
+"""Unit and property tests for exact two-level minimization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.twolevel.espresso import espresso
+from repro.twolevel.exact import exact_minimize, exact_minimize_sop, prime_implicants
+
+N = 4
+BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+class TestPrimeImplicants:
+    def test_classic_example(self):
+        # f = ~a~b + ab over 2 vars: primes are exactly those two cubes
+        t = TruthTable.from_function(2, lambda a, b: a == b)
+        primes = {str(p) for p in prime_implicants(t)}
+        assert primes == {"00", "11"}
+
+    def test_merging_to_tautology(self):
+        t = TruthTable.constant(3, True)
+        primes = prime_implicants(t)
+        assert len(primes) == 1
+        assert primes[0].num_literals() == 0
+
+    def test_dc_enlarges_primes(self):
+        # onset {11}, dc {10}: the prime becomes the single-literal cube a
+        on = TruthTable.from_minterms(2, [0b11])
+        dc = TruthTable.from_minterms(2, [0b01])
+        primes = {str(p) for p in prime_implicants(on, dc)}
+        assert "1-" in primes
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_primes_cover_exactly_the_onset(self, bits):
+        t = TruthTable(N, bits)
+        primes = prime_implicants(t)
+        covered = 0
+        for p in primes:
+            for m in p.minterms():
+                covered |= 1 << m
+        assert covered == bits  # no dc: primes cover exactly the onset
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_primes_are_maximal(self, bits):
+        t = TruthTable(N, bits)
+        for p in prime_implicants(t):
+            for j in p.literals():
+                bigger = p.without(j)
+                assert any(not t[m] for m in bigger.minterms()), (
+                    f"{p} is not maximal: {bigger} still fits"
+                )
+
+
+class TestExactMinimize:
+    def test_constant_zero(self):
+        assert len(exact_minimize(TruthTable.constant(3, False))) == 0
+
+    def test_xor_needs_two_cubes(self):
+        t = TruthTable.from_function(2, lambda a, b: a != b)
+        assert len(exact_minimize(t)) == 2
+
+    def test_dc_can_reach_one_cube(self):
+        on = TruthTable.from_minterms(2, [0b11])
+        dc = TruthTable.from_minterms(2, [0b01])
+        result = exact_minimize(on, dc)
+        assert len(result) == 1
+        assert result.cubes[0].num_literals() == 1
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_covers_the_function(self, bits):
+        t = TruthTable(N, bits)
+        result = exact_minimize(t)
+        assert result.to_truthtable() == t
+
+    @given(BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_never_beaten_by_espresso(self, bits):
+        t = TruthTable(N, bits)
+        exact = exact_minimize(t)
+        heuristic = espresso(Sop.from_truthtable(t))
+        assert len(exact) <= len(heuristic)
+
+    def test_sop_wrapper(self):
+        cover = Sop.from_strings(3, ["110", "111", "011"])
+        result = exact_minimize_sop(cover)
+        assert result.to_truthtable() == cover.to_truthtable()
+        assert len(result) == 2  # 11- and -11
+
+    def test_random_espresso_optimality_gap(self):
+        """Measure (not assert) espresso's gap; it must at least stay exact-valid."""
+        rng = random.Random(6)
+        gaps = []
+        for _ in range(20):
+            t = TruthTable.random(4, rng)
+            exact = exact_minimize(t)
+            heuristic = espresso(Sop.from_truthtable(t))
+            gaps.append(len(heuristic) - len(exact))
+            assert len(exact) <= len(heuristic)
+        assert sum(gaps) <= len(gaps) * 2  # espresso stays close on 4 vars

@@ -1,0 +1,87 @@
+"""Tests for implicit (meta-product) prime computation, vs the QM oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.twolevel.exact import prime_implicants
+from repro.twolevel.implicit_primes import MetaProducts, count_primes
+
+N = 4
+BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+class TestBasics:
+    def test_constant_true_single_empty_cube(self):
+        mp = MetaProducts(2)
+        meta = mp.primes_of_table(TruthTable.constant(2, True))
+        cubes = mp.enumerate(meta)
+        assert len(cubes) == 1
+        assert cubes[0].num_literals() == 0
+
+    def test_constant_false_no_primes(self):
+        assert count_primes(TruthTable.constant(3, False)) == 0
+
+    def test_single_literal(self):
+        mp = MetaProducts(2)
+        meta = mp.primes_of_table(TruthTable.variable(2, 1))
+        cubes = mp.enumerate(meta)
+        assert [str(c) for c in cubes] == ["-1"]
+
+    def test_xor_has_minterm_primes(self):
+        t = TruthTable.from_function(2, lambda a, b: a != b)
+        mp = MetaProducts(2)
+        cubes = mp.enumerate(mp.primes_of_table(t))
+        assert {str(c) for c in cubes} == {"10", "01"}
+
+    def test_consensus_prime_found(self):
+        # f = ab + ~ac has the consensus prime bc
+        t = TruthTable.from_function(3, lambda a, b, c: (a and b) or ((not a) and c))
+        mp = MetaProducts(3)
+        cubes = {str(c) for c in mp.enumerate(mp.primes_of_table(t))}
+        assert "-11" in cubes  # b & c
+        assert cubes == {"11-", "0-1", "-11"}
+
+    def test_arity_check(self):
+        mp = MetaProducts(3)
+        with pytest.raises(ValueError):
+            mp.primes_of_table(TruthTable.constant(2, True))
+
+
+class TestAgainstQuineMcCluskey:
+    @given(BITS)
+    @settings(max_examples=50, deadline=None)
+    def test_same_prime_set_as_explicit(self, bits):
+        t = TruthTable(N, bits)
+        mp = MetaProducts(N)
+        implicit = {str(c) for c in mp.enumerate(mp.primes_of_table(t))}
+        explicit = {str(c) for c in prime_implicants(t)}
+        assert implicit == explicit
+
+    @given(BITS)
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches(self, bits):
+        t = TruthTable(N, bits)
+        assert count_primes(t) == len(prime_implicants(t))
+
+
+class TestScaling:
+    def test_achilles_heel_function(self):
+        """n/3 disjoint 2-of-3 blocks: prime count grows as 3^(n/3)."""
+        for blocks in (2, 3, 4):
+            n = 3 * blocks
+
+            def fn(*xs):
+                return all(sum(xs[3 * i : 3 * i + 3]) >= 2 for i in range(blocks))
+
+            t = TruthTable.from_function(n, fn)
+            assert count_primes(t) == 3**blocks
+
+    def test_implicit_count_on_12_vars(self):
+        rng = random.Random(3)
+        t = TruthTable.random(12, rng)
+        # no assertion against QM (too slow to be fun); just exercise scale
+        assert count_primes(t) > 0

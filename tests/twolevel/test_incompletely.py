@@ -1,0 +1,103 @@
+"""Unit and property tests for DC-aware espresso."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.twolevel.incompletely import espresso_dc, irredundant_dc, reduce_dc
+
+N = 4
+BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+def cover_of(bits):
+    from repro.boolfunc.truthtable import TruthTable
+
+    return Sop.from_truthtable(TruthTable(N, bits))
+
+
+def result_respects_care(result, on_bits, dc_bits):
+    got = result.to_truthtable().bits
+    care_on = on_bits & ~dc_bits
+    mask = (1 << (1 << N)) - 1
+    off = mask & ~(on_bits | dc_bits)
+    return (care_on & ~got) == 0 and (got & off) == 0
+
+
+class TestEspressoDc:
+    def test_classic_dc_merge(self):
+        # onset = {11}, dc = {10}: 2-literal cube becomes the single literal a
+        on = Sop.from_strings(2, ["11"])
+        dc = Sop.from_strings(2, ["10"])
+        result = espresso_dc(on, dc)
+        assert len(result) == 1
+        assert result.cubes[0].num_literals() == 1
+        assert str(result.cubes[0]) == "1-"
+
+    def test_sdc_style_xor_simplification(self):
+        # xor over (t1, t2) where the row t1=1, t2=0 can never occur
+        on = Sop.from_strings(2, ["10", "01"])
+        dc = Sop(2, [Cube.from_string("10")])
+        result = espresso_dc(on, dc)
+        assert result.num_literals() < on.num_literals()
+        assert result_respects_care(
+            result, on.to_truthtable().bits, dc.to_truthtable().bits
+        )
+
+    def test_tautology_with_dc(self):
+        on = Sop.from_strings(1, ["1"])
+        dc = Sop.from_strings(1, ["0"])
+        result = espresso_dc(on, dc)
+        assert len(result) == 1 and result.cubes[0].num_literals() == 0
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            espresso_dc(Sop.zero(2), Sop.zero(3))
+
+    def test_empty_onset(self):
+        result = espresso_dc(Sop.zero(3), Sop.one(3))
+        assert not result.cubes
+
+    @given(BITS, BITS)
+    @settings(max_examples=50, deadline=None)
+    def test_result_between_care_bounds(self, on_bits, dc_bits):
+        on = cover_of(on_bits)
+        dc = cover_of(dc_bits)
+        result = espresso_dc(on, dc)
+        assert result_respects_care(result, on_bits, dc_bits)
+
+    @given(BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_never_costs_more_than_plain_espresso(self, on_bits, dc_bits):
+        from repro.twolevel.espresso import espresso
+
+        on = cover_of(on_bits)
+        dc = cover_of(dc_bits)
+        with_dc = espresso_dc(on, dc)
+        plain = espresso(on)
+        assert len(with_dc) <= len(plain) + 1  # heuristic: allow tiny noise
+
+
+class TestHelpers:
+    def test_irredundant_dc_uses_dc(self):
+        # cube {10} redundant given rest {1-}? no rest; with dc {10} the cube's
+        # care part is empty -> removable
+        on = Sop.from_strings(2, ["10", "01"])
+        dc = Sop.from_strings(2, ["10"])
+        r = irredundant_dc(on, dc)
+        assert len(r) == 1
+        assert str(r.cubes[0]) == "01"
+
+    def test_reduce_dc_preserves_care(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            on = Sop.random(4, rng.randint(1, 5), rng)
+            dc = Sop.random(4, rng.randint(0, 3), rng)
+            reduced = reduce_dc(on, dc)
+            assert result_respects_care(
+                reduced, on.to_truthtable().bits, dc.to_truthtable().bits
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for URP tautology / containment / complement."""
+
+import random
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.sop import Sop
+from repro.twolevel.tautology import complement, covers_cube, is_tautology, most_binate_variable
+
+
+class TestMostBinate:
+    def test_unate_cover(self):
+        s = Sop.from_strings(3, ["1-0", "1--"])
+        assert most_binate_variable(s) is None
+
+    def test_binate_cover(self):
+        s = Sop.from_strings(2, ["1-", "0-", "-1"])
+        assert most_binate_variable(s) == 0
+
+
+class TestTautology:
+    def test_tautology_cube(self):
+        assert is_tautology(Sop.one(3))
+
+    def test_complementary_literals(self):
+        assert is_tautology(Sop.from_strings(1, ["1", "0"]))
+
+    def test_not_tautology(self):
+        assert not is_tautology(Sop.from_strings(2, ["11", "00"]))
+
+    def test_empty_cover(self):
+        assert not is_tautology(Sop.zero(2))
+
+    def test_random_cross_check(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            s = Sop.random(5, rng.randint(1, 8), rng, care_prob=0.35)
+            expected = s.to_truthtable().bits == (1 << 32) - 1
+            assert is_tautology(s) == expected
+
+
+class TestCoversCube:
+    def test_direct_containment(self):
+        s = Sop.from_strings(3, ["1--"])
+        assert covers_cube(s, Cube.from_string("11-"))
+        assert not covers_cube(s, Cube.from_string("-1-"))
+
+    def test_union_containment(self):
+        # 11- covered by 1-0 | -11 ? 110 by first, 111 by second -> yes
+        s = Sop.from_strings(3, ["1-0", "-11"])
+        assert covers_cube(s, Cube.from_string("11-"))
+
+    def test_random_cross_check(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            s = Sop.random(4, rng.randint(1, 5), rng)
+            c = Sop.random(4, 1, rng).cubes[0]
+            t = s.to_truthtable()
+            expected = all(t[m] for m in c.minterms())
+            assert covers_cube(s, c) == expected
+
+
+class TestComplement:
+    def test_zero_one(self):
+        assert complement(Sop.zero(2)).to_truthtable().bits == 0xF
+        assert complement(Sop.one(2)).to_truthtable().bits == 0
+
+    def test_single_cube_demorgan(self):
+        s = Sop.from_strings(2, ["10"])
+        c = complement(s)
+        assert c.to_truthtable() == ~s.to_truthtable()
+
+    def test_random_cross_check(self):
+        rng = random.Random(123)
+        for _ in range(60):
+            s = Sop.random(5, rng.randint(1, 8), rng, care_prob=0.45)
+            assert complement(s).to_truthtable() == ~s.to_truthtable()
+
+    def test_complement_of_complement(self):
+        rng = random.Random(5)
+        s = Sop.random(4, 4, rng)
+        cc = complement(complement(s))
+        assert cc.to_truthtable() == s.to_truthtable()
