@@ -4,9 +4,11 @@ Includes a scaling check of the ``subset(delta, l)`` threshold construction
 (Fig. 4), whose cost the paper states as O(delta * l) BDD operations.
 """
 
+import time
+
 import pytest
 
-from benchmarks.conftest import emit, reset_results
+from benchmarks.conftest import emit, json_row, reset_results, write_json
 from repro.bdd.manager import BDD, FALSE
 from repro.bdd.satcount import satcount
 from repro.imodec.chi import threshold_at_least
@@ -20,6 +22,7 @@ def _report():
     reset_results(MODULE)
     emit(MODULE, "== BDD substrate microbenchmarks ==")
     yield
+    write_json(MODULE)
 
 
 def build_adder_manager(bits: int):
@@ -41,8 +44,13 @@ def test_bench_adder_carry(benchmark, bits):
             carry = bdd.apply_or(bdd.apply_and(x, y), bdd.apply_and(s, carry))
         return bdd, carry
 
+    start = time.perf_counter()
     bdd, carry = benchmark(build)
+    cpu = time.perf_counter() - start
     assert len(bdd.support(carry)) == 2 * bits
+    stats = bdd.cache_stats()
+    json_row(MODULE, name=f"adder_carry_{bits}", cpu_s=round(cpu, 3),
+             bdd_nodes=stats["nodes"], cache_hit_rate=round(stats["hit_rate"], 4))
 
 
 @pytest.mark.parametrize("n", [16, 20])
@@ -51,8 +59,13 @@ def test_bench_satcount_parity(benchmark, n):
     f = FALSE
     for i in range(n):
         f = bdd.apply_xor(f, bdd.add_var(f"x{i}"))
+    start = time.perf_counter()
     count = benchmark(lambda: satcount(bdd, f, range(n)))
+    cpu = time.perf_counter() - start
     assert count == 1 << (n - 1)
+    stats = bdd.cache_stats()
+    json_row(MODULE, name=f"satcount_parity_{n}", cpu_s=round(cpu, 3),
+             bdd_nodes=stats["nodes"], cache_hit_rate=round(stats["hit_rate"], 4))
 
 
 @pytest.mark.parametrize("l,delta", [(16, 4), (32, 8), (64, 16)])
@@ -61,7 +74,9 @@ def test_bench_subset_threshold(benchmark, l, delta):
     zspace = ZSpace(l)
     lits = [zspace.bdd.var(i) for i in range(l)]
 
+    start = time.perf_counter()
     node = benchmark(lambda: threshold_at_least(zspace, lits, delta))
+    cpu = time.perf_counter() - start
     # sanity: count equals sum of binomials C(l, k) for k >= delta
     from math import comb
 
@@ -69,6 +84,9 @@ def test_bench_subset_threshold(benchmark, l, delta):
     assert zspace.count(node) == expected
     emit(MODULE, f"  subset(delta={delta}, l={l}) built, "
                  f"{zspace.bdd.num_nodes} manager nodes")
+    stats = zspace.bdd.cache_stats()
+    json_row(MODULE, name=f"subset_threshold_d{delta}_l{l}", cpu_s=round(cpu, 3),
+             bdd_nodes=stats["nodes"], cache_hit_rate=round(stats["hit_rate"], 4))
 
 
 def test_bench_compose_chain(benchmark):
@@ -77,4 +95,9 @@ def test_bench_compose_chain(benchmark):
     xs = [bdd.add_var(f"x{i}") for i in range(12)]
     f = bdd.conjoin(bdd.apply_xor(xs[i], xs[i + 1]) for i in range(11))
     sub = {i: bdd.apply_and(xs[(i + 1) % 12], xs[(i + 2) % 12]) for i in range(6)}
+    start = time.perf_counter()
     benchmark(lambda: bdd.compose(f, sub))
+    cpu = time.perf_counter() - start
+    stats = bdd.cache_stats()
+    json_row(MODULE, name="compose_chain", cpu_s=round(cpu, 3),
+             bdd_nodes=stats["nodes"], cache_hit_rate=round(stats["hit_rate"], 4))

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import QUICK, emit, fmt, reset_results
+from benchmarks.conftest import QUICK, emit, fmt, json_row, reset_results, write_json
 from repro.algebraic.rugged import rugged
 from repro.benchcircuits import get_circuit
 from repro.mapping.flow import FlowConfig, verify_flow_sim
@@ -60,6 +60,12 @@ def _report():
                  f"(paper: 16% against FGMap)")
     losses = [r["name"] for r in _rows if r["multi"] > r["single"]]
     emit(MODULE, f"  circuits where multi > single: {losses or 'none'}")
+    write_json(
+        MODULE,
+        total_clb_multi=tot_multi,
+        total_clb_single=tot_single,
+        saving_pct=round(saving, 1),
+    )
 
 
 def _prestructure(name):
@@ -93,3 +99,15 @@ def test_table2_rugged_circuit(benchmark, name):
     _rows.append(dict(name=name, multi=clb_multi, single=clb_single))
     emit(MODULE, f"{name:>8} | {clb_multi:>8} {clb_single:>8} | "
                  f"{fmt(paper.r_imodec_clb)} {fmt(paper.r_fgmap_clb)} | {cpu:>7.1f}")
+    stats = multi.bdd_stats
+    json_row(
+        MODULE,
+        name=name,
+        clb_multi=clb_multi,
+        clb_single=clb_single,
+        cpu_s=round(cpu, 2),
+        bdd_nodes=stats.get("nodes"),
+        cache_hit_rate=round(stats.get("hit_rate", 0.0), 4),
+        cache_entries=stats.get("entries"),
+        cache_evictions=stats.get("evictions"),
+    )

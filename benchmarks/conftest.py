@@ -14,13 +14,19 @@ the same hot spots).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+# Per-module record accumulators for the machine-readable emitter.
+_JSON_ROWS: dict[str, list[dict]] = {}
 
 
 def emit(module: str, text: str) -> None:
@@ -41,3 +47,27 @@ def reset_results(module: str) -> None:
 def fmt(value, width: int = 7) -> str:
     """Right-aligned cell; '-' for None."""
     return f"{'-' if value is None else value:>{width}}"
+
+
+def json_row(module: str, **fields: Any) -> None:
+    """Queue one machine-readable record for ``BENCH_<module>.json``."""
+    _JSON_ROWS.setdefault(module, []).append(fields)
+
+
+def write_json(module: str, **meta: Any) -> None:
+    """Write the queued records of a module as ``BENCH_<module>.json``.
+
+    The JSON artifacts sit next to the human-readable ``.txt`` tables and
+    are committed so the performance trajectory (wall-clock, node counts,
+    cache hit rates) stays diffable across PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "module": module,
+        "quick": QUICK,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        **meta,
+        "rows": _JSON_ROWS.pop(module, []),
+    }
+    path = RESULTS_DIR / f"BENCH_{module}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

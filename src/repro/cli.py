@@ -54,7 +54,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         rugged(net)
         print(f"rugged: {network_stats(net)}  ({time.perf_counter() - start:.1f}s)")
 
-    config = FlowConfig(k=args.k, mode=args.mode, strict=args.strict)
+    config = FlowConfig(k=args.k, mode=args.mode, strict=args.strict, jobs=args.jobs)
     start = time.perf_counter()
     if args.structural:
         result = synthesize_structural(net, config)
@@ -99,6 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--mode", choices=["multi", "single"], default="multi",
                        help="multi = IMODEC sharing, single = classical baseline")
     synth.add_argument("--k", type=int, default=5, help="LUT input count (default 5)")
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for bound-set scoring (default 1)")
     synth.add_argument("--strict", action="store_true",
                        help="strict (one-code-per-class) decomposition baseline")
     synth.add_argument("--rugged", action="store_true",

@@ -50,6 +50,7 @@ class FlowConfig:
     strict: bool = False  # one-code-per-class baseline (refs [10, 11])
     max_group: int | None = None  # the paper's "limit m" valve
     max_globals: int | None = 64  # Property-1 abort threshold
+    jobs: int = 1  # process-pool width for bound-set scoring
 
     def __post_init__(self) -> None:
         if self.k < 3:
@@ -74,6 +75,7 @@ class FlowResult:
     output_signals: dict[str, str]
     config: FlowConfig
     records: list[GroupRecord] = field(default_factory=list)
+    bdd_stats: dict = field(default_factory=dict)  # manager cache/node counters
 
     @property
     def num_luts(self) -> int:
@@ -183,7 +185,8 @@ class _FlowState:
             union = sorted(set().union(*(bdd.support(f) for f in vec)))
             bound = min(bound, len(union) - 1)
             bs_, fs_ = choose_bound_set(
-                bdd, vec, union, bound, strategy=config.var_strategy, scorer=scorer
+                bdd, vec, union, bound,
+                strategy=config.var_strategy, scorer=scorer, jobs=config.jobs,
             )
             res = decompose_multi(
                 bdd, vec, bs_, fs_,
@@ -353,6 +356,7 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
                 min(config.bound_size or config.k, config.k),
                 max_group=config.max_group,
                 max_globals=config.max_globals,
+                jobs=config.jobs,
             )
         groups = [[nontrivial[i] for i in g] for g in groups_idx]
         grouped = {i for g in groups for i in g}
@@ -366,7 +370,6 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
         signals = state.emit_vector([out_nodes[i] for i in group], cache)
         for i, sig in zip(group, signals):
             output_signals[out_names[i]] = sig
-        bdd.maybe_clear_caches()
 
     state.lut.set_outputs(sorted(set(output_signals.values())))
     check_k_feasible(state.lut, config.k)
@@ -375,6 +378,7 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
         output_signals=output_signals,
         config=config,
         records=state.records,
+        bdd_stats=bdd.cache_stats(),
     )
 
 

@@ -84,7 +84,7 @@ def partial_collapse(
             # Promote the widest internal fanins until the function fits.
             candidates = sorted(
                 {f for f in node.fanins if f in network.nodes and f not in promoted},
-                key=lambda f: -len(bdd.support(rep[f])),
+                key=lambda f: (-len(bdd.support(rep[f])), f),
             )
             for f in candidates:
                 if len(bdd.support(rep[f])) <= 1:
@@ -95,7 +95,6 @@ def partial_collapse(
                 if len(bdd.support(r)) <= max_support:
                     break
         rep[name] = r
-        bdd.maybe_clear_caches()
 
     for name in network.outputs:
         if name not in promoted and name not in network.inputs:
@@ -165,6 +164,7 @@ def synthesize_structural(
                 min(config.bound_size or config.k, config.k),
                 max_group=config.max_group,
                 max_globals=config.max_globals,
+                jobs=config.jobs,
             )
         else:
             groups = [[i] for i in range(len(batch))]
@@ -177,11 +177,14 @@ def synthesize_structural(
         for lvl, sig in frontier.items():
             if sig in emitted and lvl not in signal_of_level:
                 signal_of_level[lvl] = emitted[sig]
-        bdd.maybe_clear_caches()
 
     output_signals = {name: emitted[name] for name in network.outputs}
     lut.set_outputs(sorted(set(output_signals.values())))
     check_k_feasible(lut, config.k)
     return FlowResult(
-        network=lut, output_signals=output_signals, config=config, records=records
+        network=lut,
+        output_signals=output_signals,
+        config=config,
+        records=records,
+        bdd_stats=bdd.cache_stats(),
     )

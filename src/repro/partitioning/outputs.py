@@ -34,7 +34,7 @@ class TrialResult:
 
 
 def solo_codewidth(
-    bdd: BDD, f: int, input_levels: Sequence[int], bound_size: int
+    bdd: BDD, f: int, input_levels: Sequence[int], bound_size: int, jobs: int = 1
 ) -> int | None:
     """Codewidth of a single output with its *own* best bound set.
 
@@ -44,7 +44,7 @@ def solo_codewidth(
     usable = [lvl for lvl in input_levels if lvl in support]
     if len(usable) <= bound_size:
         return None
-    bs, _ = choose_bound_set(bdd, [f], usable, bound_size)
+    bs, _ = choose_bound_set(bdd, [f], usable, bound_size, jobs=jobs)
     return codewidth(local_partition(bdd, f, bs).num_blocks)
 
 
@@ -55,6 +55,7 @@ def trial_gain(
     bound_size: int,
     max_globals: int | None = None,
     solo_costs: Sequence[int] | None = None,
+    jobs: int = 1,
 ) -> TrialResult | None:
     """Gain of decomposing the given vector together, against solo baselines.
 
@@ -72,7 +73,7 @@ def trial_gain(
     if len(usable) <= bound_size:
         return None
     if solo_costs is None:
-        maybe = [solo_codewidth(bdd, f, input_levels, bound_size) for f in f_nodes]
+        maybe = [solo_codewidth(bdd, f, input_levels, bound_size, jobs=jobs) for f in f_nodes]
         if any(c is None for c in maybe):
             return None
         solo_costs = [c for c in maybe if c is not None]
@@ -80,14 +81,13 @@ def trial_gain(
     # the better gain -- mirroring the flow's own dual attempt.
     best: TrialResult | None = None
     for scorer in ("compact", "shared") if len(f_nodes) > 1 else ("compact",):
-        bs, fs = choose_bound_set(bdd, f_nodes, usable, bound_size, scorer=scorer)
+        bs, fs = choose_bound_set(bdd, f_nodes, usable, bound_size, scorer=scorer, jobs=jobs)
         parts = [local_partition(bdd, f, bs) for f in f_nodes]
         glob = Partition.product_all(parts)
         if max_globals is not None and glob.num_blocks > max_globals:
             continue
         # The trial decomposition itself (no g construction: only q needed).
         result = decompose_multi(bdd, list(f_nodes), bs, fs, build_g=False)
-        bdd.maybe_clear_caches()
         gain = sum(solo_costs) - result.num_functions
         candidate = TrialResult(gain=gain, num_globals=result.num_global_classes)
         if best is None or candidate.gain > best.gain:
@@ -152,11 +152,12 @@ def partition_outputs(
     bound_size: int,
     max_group: int | None = None,
     max_globals: int | None = 64,
+    jobs: int = 1,
 ) -> list[list[int]]:
     """Group output indices into decomposition vectors (the paper's heuristic)."""
     remaining = list(range(len(f_nodes)))
     solo: dict[int, int | None] = {
-        k: solo_codewidth(bdd, f_nodes[k], input_levels, bound_size)
+        k: solo_codewidth(bdd, f_nodes[k], input_levels, bound_size, jobs=jobs)
         for k in remaining
     }
     groups: list[list[int]] = []
@@ -191,6 +192,7 @@ def partition_outputs(
                 bound_size,
                 max_globals,
                 solo_costs=[solo[k] for k in members],  # type: ignore[misc]
+                jobs=jobs,
             )
             if trial is None or trial.gain <= current_gain:
                 # the paper: if the gain decreased, the combination is undone

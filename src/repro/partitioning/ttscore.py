@@ -1,0 +1,199 @@
+"""Truth-table fast path for bound-set scoring.
+
+Bound-set search evaluates hundreds of candidate bound sets against the same
+output functions.  The generic path cofactors BDDs one variable at a time --
+``O(2^b)`` restrict walks per candidate per output.  When every output's
+*own* support fits in ``TT_MAX_VARS`` variables (the candidate scope -- the
+union of supports -- may be arbitrarily large), it is much cheaper to extract
+each output's packed truth table once
+(:meth:`repro.bdd.manager.BDD.to_truth_bits`) and score every candidate with
+big-integer mask arithmetic: cofactoring a table is two shifts and two ANDs,
+and comparing cofactors is integer equality.
+
+The scores are *bit-identical* to the BDD path
+(:func:`repro.partitioning.variables.score_bound_set`):
+
+- Entry ``x`` of :func:`vertex_cofactor_keys` is the truth table of exactly
+  the cofactor function that ``repro.decompose.compat.cofactor_map`` computes
+  for bound-set vertex ``x``, restricted to the bound variables inside the
+  function's support (variables outside it replicate cofactors and cannot
+  split a class).  Table equality coincides with cofactor-BDD-node equality,
+  so the number of distinct entries equals the local partition's block
+  count, and the number of distinct across-output key combinations equals
+  the global partition's block count.
+- Candidates are enumerated in the same order and ties resolve to the first
+  minimum, so the *chosen* bound set is identical too.
+
+Everything in this module is pure and picklable so the scoring loop can fan
+out over a process pool (see :func:`score_chunk` and
+``repro.partitioning.variables``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bdd.manager import row_mask
+
+#: Largest per-function support eligible for truth-table scoring.
+#: 2^14 rows = 2 KiB per packed table; beyond that, BDD cofactoring wins.
+TT_MAX_VARS = 14
+
+#: Minimum number of candidates before a process pool is worth its overhead.
+PARALLEL_MIN = 16
+
+#: One output function prepared for scoring: packed truth table (LSB-first
+#: over the sorted support) plus the sorted support levels.
+PreparedFn = tuple[int, tuple[int, ...]]
+
+
+def vertex_cofactor_keys(table: int, n: int, positions: Sequence[int]) -> list[int]:
+    """Cofactor table of every vertex of a set of bound variables.
+
+    ``table`` is packed LSB-first over ``n`` variables; ``positions`` are the
+    bit positions (within the row index) of the bound variables.  Entry ``x``
+    (bit ``j`` of ``x`` = value of ``positions[j]``, the ``cofactor_map``
+    vertex convention) is the truth table of the cofactor at vertex ``x``,
+    with the bound positions don't-care-replicated so that two entries are
+    equal iff the cofactor *functions* are equal.
+    """
+    maps = [table]
+    for j, pos in enumerate(positions):
+        mask = row_mask(n, pos)
+        inv = ~mask
+        shift = 1 << pos
+        nxt = [0] * (len(maps) * 2)
+        for x, t in enumerate(maps):
+            t0 = t & inv
+            t0 |= t0 << shift
+            t1 = t & mask
+            t1 |= t1 >> shift
+            nxt[x] = t0
+            nxt[x | (1 << j)] = t1
+        maps = nxt
+    return maps
+
+
+class ScoreContext:
+    """Reused lookups for scoring many candidates against the same functions.
+
+    ``touched_by`` inverts the supports (level -> function indices), so a
+    candidate only ever visits the functions it intersects -- in wide
+    multi-output vectors most functions are disjoint from most candidates.
+    """
+
+    def __init__(self, fns: Sequence[PreparedFn]) -> None:
+        self.fns = fns
+        self.pos_maps = [{lvl: i for i, lvl in enumerate(sup)} for _, sup in fns]
+        self.touched_by: dict[int, list[int]] = {}
+        for i, (_, sup) in enumerate(fns):
+            for lvl in sup:
+                self.touched_by.setdefault(lvl, []).append(i)
+
+
+def score_combo(
+    fns: Sequence[PreparedFn],
+    combo: Sequence[int],
+    scorer: str,
+    ctx: ScoreContext | None = None,
+) -> tuple[int, int, int]:
+    """Score one candidate bound set from per-function packed truth tables.
+
+    Mirrors ``repro.partitioning.variables.score_bound_set``: the returned
+    tuple is ``(p, total_classes, -dependence)`` for the ``compact`` scorer
+    and ``(p, -dependence, total_classes)`` for ``shared``.
+
+    A function disjoint from the candidate contributes a single local class
+    and nothing to the global product, so only intersecting functions are
+    expanded.  Each expansion works in the function's own compressed vertex
+    space; for the global class count the per-function class-id arrays are
+    aligned (don't-care bits replicated by block doubling) over the union of
+    the involved vertex bits only and folded into one composite id per
+    vertex -- the remaining bits cannot split the product.
+    """
+    if ctx is None:
+        ctx = ScoreContext(fns)
+    pos_maps = ctx.pos_maps
+    involved_idx: set[int] = set()
+    touched_by = ctx.touched_by
+    for lvl in combo:
+        hit = touched_by.get(lvl)
+        if hit:
+            involved_idx.update(hit)
+    total_classes = len(fns) - len(involved_idx)
+    dependence = 0
+    # (dense-id array over the function's compressed vertex space, vertex
+    # bits of the combo the function actually depends on)
+    involved: list[tuple[list[int], list[int]]] = []
+    for i in sorted(involved_idx):
+        table, sup = fns[i]
+        pos_of = pos_maps[i]
+        sel = [(j, pos_of[lvl]) for j, lvl in enumerate(combo) if lvl in pos_of]
+        dependence += len(sel)
+        keys = vertex_cofactor_keys(table, len(sup), [p for _, p in sel])
+        # Re-key the (large-integer) tables to small dense ids: one hash per
+        # entry here instead of one per entry per use below.
+        ids: dict[int, int] = {}
+        id_arr = [ids.setdefault(k, len(ids)) for k in keys]
+        total_classes += len(ids)
+        if len(ids) > 1:
+            involved.append((id_arr, [j for j, _ in sel]))
+    if not involved:
+        num_globals = 1
+    elif len(involved) == 1:
+        num_globals = len(set(involved[0][0]))
+    else:
+        union = sorted({j for _, js in involved for j in js})
+        u_of = {j: u for u, j in enumerate(union)}
+        comp: list[int] | None = None
+        stride = 1
+        for id_arr, js in involved:
+            # Expand to the union vertex space: js ascend with u, so block
+            # doubling at each missing bit keeps the index aligned.
+            arr = id_arr
+            have = [u_of[j] for j in js]
+            k = 0
+            for u in range(len(union)):
+                if k < len(have) and have[k] == u:
+                    k += 1
+                    continue
+                block = 1 << u
+                out: list[int] = []
+                for start in range(0, len(arr), block):
+                    seg = arr[start : start + block]
+                    out += seg
+                    out += seg
+                arr = out
+            if comp is None:
+                comp = list(arr)
+            else:
+                # Mixed-radix fold: injective since ids are dense 0..n-1.
+                comp = [c + a * stride for c, a in zip(comp, arr)]
+            stride *= max(id_arr) + 1
+        assert comp is not None
+        num_globals = len(set(comp))
+    if scorer == "shared":
+        return num_globals, -dependence, total_classes
+    if scorer == "compact":
+        return num_globals, total_classes, -dependence
+    raise ValueError(f"unknown scorer {scorer!r}")
+
+
+def score_chunk(
+    fns: Sequence[PreparedFn],
+    chunk: Sequence[tuple[int, tuple[int, ...]]],
+    scorer: str,
+) -> tuple[tuple[int, int, int], int] | None:
+    """Process-pool worker: best ``(score, candidate_index)`` of a chunk.
+
+    ``chunk`` holds ``(candidate_index, combo)`` pairs.  Ties break toward
+    the lowest candidate index, so reducing the per-chunk winners reproduces
+    the serial first-minimum scan exactly.
+    """
+    ctx = ScoreContext(fns)
+    best: tuple[tuple[int, int, int], int] | None = None
+    for idx, combo in chunk:
+        score = score_combo(fns, combo, scorer, ctx)
+        if best is None or score < best[0]:
+            best = (score, idx)
+    return best

@@ -11,17 +11,33 @@ We therefore score a candidate bound set by the tuple
 local classes -- and search either exhaustively (small inputs) or greedily
 (grow the bound set one variable at a time, keeping the best-scoring
 extension).
+
+Two scoring engines produce identical scores (see
+:mod:`repro.partitioning.ttscore`): when every output's support fits in
+``TT_MAX_VARS`` variables, candidates are scored with packed-truth-table
+arithmetic (and optionally fanned out over a process pool via the ``jobs``
+argument); otherwise the generic BDD cofactoring path is used.  Candidate
+enumeration order is fixed and ties always resolve to the earliest
+candidate, so the chosen bound set does not depend on the engine or on
+``jobs``.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+from concurrent.futures import ProcessPoolExecutor
 from typing import Literal, Sequence
 
 from repro.bdd.manager import BDD
 from repro.decompose.compat import local_partition
 from repro.decompose.partitions import Partition
+from repro.partitioning.ttscore import (
+    PARALLEL_MIN,
+    TT_MAX_VARS,
+    PreparedFn,
+    score_chunk,
+)
 
 Strategy = Literal["auto", "exhaustive", "greedy", "random"]
 
@@ -30,6 +46,21 @@ EXHAUSTIVE_BUDGET = 400
 
 
 Scorer = Literal["compact", "shared"]
+
+# Lazily created, process-wide scoring pool (workers are fork-cheap and
+# reusable across calls; the pool is rebuilt only when ``jobs`` changes).
+_POOL: ProcessPoolExecutor | None = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
 
 
 def score_bound_set(
@@ -65,6 +96,52 @@ def score_bound_set(
     raise ValueError(f"unknown scorer {scorer!r}")
 
 
+def _prepare_functions(
+    bdd: BDD, f_nodes: Sequence[int]
+) -> list[PreparedFn] | None:
+    """Per-function packed truth tables for the fast path, or None if too big.
+
+    Each function is tabulated over its *own* sorted support, so the fast
+    path works for arbitrarily wide candidate scopes as long as every
+    individual output fits ``TT_MAX_VARS`` variables.
+    """
+    fns: list[PreparedFn] = []
+    for f in f_nodes:
+        sup = tuple(sorted(bdd.support(f)))
+        if len(sup) > TT_MAX_VARS:
+            return None
+        fns.append((bdd.to_truth_bits(f, sup), sup))
+    return fns
+
+
+def _best_candidate(
+    fns: list[PreparedFn],
+    combos: list[tuple[int, ...]],
+    scorer: str,
+    jobs: int,
+) -> int:
+    """Index of the best-scoring combo -- first minimum, regardless of jobs.
+
+    Chunks are contiguous, each worker returns its first minimum, and the
+    reduction compares ``(score, index)``, so the parallel result is
+    identical to a serial first-minimum scan.
+    """
+    indexed = list(enumerate(combos))
+    if jobs > 1 and len(indexed) >= PARALLEL_MIN:
+        pool = _get_pool(jobs)
+        chunk_size = -(-len(indexed) // (jobs * 4))
+        chunks = [
+            indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)
+        ]
+        winners = pool.map(
+            score_chunk, *zip(*[(fns, c, scorer) for c in chunks])
+        )
+        return min(w for w in winners if w is not None)[1]
+    result = score_chunk(fns, indexed, scorer)
+    assert result is not None
+    return result[1]
+
+
 def choose_bound_set(
     bdd: BDD,
     f_nodes: Sequence[int],
@@ -73,11 +150,14 @@ def choose_bound_set(
     strategy: Strategy = "auto",
     rng: random.Random | None = None,
     scorer: Scorer = "compact",
+    jobs: int = 1,
 ) -> tuple[list[int], list[int]]:
     """Pick a bound set of ``bound_size`` variables from ``input_levels``.
 
     Returns ``(bs_levels, fs_levels)``.  The free set is never empty: at
-    most ``len(input_levels) - 1`` variables can be bound.
+    most ``len(input_levels) - 1`` variables can be bound.  ``jobs`` > 1
+    fans the scoring loop out over a process pool (same result, see module
+    docstring).
     """
     levels = list(input_levels)
     n = len(levels)
@@ -88,26 +168,36 @@ def choose_bound_set(
         num_candidates = _n_choose_k(n, bound_size)
         strategy = "exhaustive" if num_candidates <= EXHAUSTIVE_BUDGET else "greedy"
 
+    fns = _prepare_functions(bdd, f_nodes) if strategy != "random" else None
+
     if strategy == "exhaustive":
-        best = None
-        best_score = None
-        for combo in itertools.combinations(levels, bound_size):
-            score = score_bound_set(bdd, f_nodes, combo, scorer)
-            if best_score is None or score < best_score:
-                best, best_score = list(combo), score
-        assert best is not None
-        bs = best
+        combos = list(itertools.combinations(levels, bound_size))
+        if fns is not None:
+            bs = list(combos[_best_candidate(fns, combos, scorer, jobs)])
+        else:
+            best = None
+            best_score = None
+            for combo in combos:
+                score = score_bound_set(bdd, f_nodes, combo, scorer)
+                if best_score is None or score < best_score:
+                    best, best_score = list(combo), score
+            assert best is not None
+            bs = best
     elif strategy == "greedy":
         bs = []
         remaining = list(levels)
         while len(bs) < bound_size:
-            best_var = None
-            best_score = None
-            for var in remaining:
-                score = score_bound_set(bdd, f_nodes, bs + [var], scorer)
-                if best_score is None or score < best_score:
-                    best_var, best_score = var, score
-            assert best_var is not None
+            if fns is not None:
+                combos = [tuple(bs + [var]) for var in remaining]
+                best_var = remaining[_best_candidate(fns, combos, scorer, jobs)]
+            else:
+                best_var = None
+                best_score = None
+                for var in remaining:
+                    score = score_bound_set(bdd, f_nodes, bs + [var], scorer)
+                    if best_score is None or score < best_score:
+                        best_var, best_score = var, score
+                assert best_var is not None
             bs.append(best_var)
             remaining.remove(best_var)
     elif strategy == "random":

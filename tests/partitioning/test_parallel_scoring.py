@@ -1,0 +1,92 @@
+"""Determinism of parallel bound-set scoring.
+
+The ``jobs`` knob must never change the chosen bound set: candidates are
+enumerated in a fixed order, each worker returns its chunk's first minimum,
+and the reduction compares ``(score, candidate_index)`` tuples -- so the
+parallel result must reproduce the serial first-minimum scan exactly.  These
+tests exercise the whole path (prepare -> chunk -> pool -> reduce) on random
+multi-output vectors with jobs=1 vs jobs=4.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.truthtable import TruthTable
+from repro.partitioning.ttscore import PARALLEL_MIN
+from repro.partitioning.variables import choose_bound_set, score_bound_set
+
+
+def random_vector(n_vars, n_outs, rng):
+    """A manager and random output functions, some over sub-supports."""
+    bdd = BDD()
+    bdd.add_vars(n_vars)
+    nodes = []
+    for _ in range(n_outs):
+        k = rng.randint(2, n_vars)
+        levels = sorted(rng.sample(range(n_vars), k))
+        bits = rng.getrandbits(1 << k)
+        nodes.append(bdd.from_truth_bits(bits, levels))
+    return bdd, nodes
+
+
+@pytest.mark.parametrize("strategy", ["exhaustive", "greedy"])
+def test_jobs_do_not_change_partition(strategy):
+    rng = random.Random(20260806)
+    for trial in range(6):
+        n_vars = rng.randint(6, 9)
+        bdd, nodes = random_vector(n_vars, rng.randint(1, 4), rng)
+        levels = list(range(n_vars))
+        bound = rng.randint(2, n_vars - 2)
+        serial = choose_bound_set(
+            bdd, nodes, levels, bound, strategy=strategy, jobs=1
+        )
+        parallel = choose_bound_set(
+            bdd, nodes, levels, bound, strategy=strategy, jobs=4
+        )
+        assert serial == parallel, f"trial {trial}: {serial} != {parallel}"
+
+
+def test_parallel_threshold_is_crossed():
+    # Sanity-check the fixture actually exercises the pool: with 9 inputs
+    # and bound size 4 there are C(9,4)=126 >= PARALLEL_MIN candidates.
+    assert 126 >= PARALLEL_MIN
+    bdd = BDD()
+    bdd.add_vars(9)
+    rng = random.Random(3)
+    nodes = [bdd.from_truth_bits(rng.getrandbits(512), list(range(9)))]
+    serial = choose_bound_set(bdd, nodes, list(range(9)), 4, jobs=1)
+    parallel = choose_bound_set(bdd, nodes, list(range(9)), 4, jobs=4)
+    assert serial == parallel
+
+
+@pytest.mark.parametrize("scorer", ["compact", "shared"])
+def test_parallel_choice_scores_like_bdd_oracle(scorer):
+    # The winner under jobs=4 must score identically through the slow BDD
+    # path -- ties aside, it must be a global minimum of score_bound_set.
+    rng = random.Random(17)
+    bdd, nodes = random_vector(7, 3, rng)
+    levels = list(range(7))
+    bs, _ = choose_bound_set(
+        bdd, nodes, levels, 3, strategy="exhaustive", scorer=scorer, jobs=4
+    )
+    import itertools
+
+    best = min(
+        score_bound_set(bdd, nodes, list(c), scorer)
+        for c in itertools.combinations(levels, 3)
+    )
+    assert score_bound_set(bdd, nodes, bs, scorer) == best
+
+
+def test_jobs_one_never_spawns_pool():
+    import repro.partitioning.variables as vmod
+
+    before = vmod._POOL
+    bdd = BDD()
+    bdd.add_vars(6)
+    t = TruthTable.from_function(6, lambda *a: sum(a) % 2 == 0)
+    node = bdd.from_truth_bits(t.bits, list(range(6)))
+    choose_bound_set(bdd, [node], list(range(6)), 3, jobs=1)
+    assert vmod._POOL is before

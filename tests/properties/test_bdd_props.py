@@ -136,6 +136,131 @@ class TestCompose:
             assert bdd.eval(composed, env) == bdd.eval(nf, env2)
 
 
+class TestWideRoundTrip:
+    """Truth-table round trips beyond the 4-var default, up to 8 vars."""
+
+    @given(
+        st.integers(min_value=5, max_value=8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_up_to_8_vars(self, n_bits):
+        n, bits = n_bits
+        bdd = BDD()
+        bdd.add_vars(n)
+        levels = list(range(n))
+        node = bdd.from_truth_bits(bits, levels)
+        assert bdd.to_truth_bits(node, levels) == bits
+
+    @given(
+        st.integers(min_value=5, max_value=8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+            )
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_reversed_levels(self, n_bits):
+        # from_truth_bits accepts levels in any order; reversing them
+        # reverses the role of each index bit.
+        n, bits = n_bits
+        bdd = BDD()
+        bdd.add_vars(n)
+        levels = list(range(n))[::-1]
+        node = bdd.from_truth_bits(bits, levels)
+        assert bdd.to_truth_bits(node, levels) == bits
+
+
+class TestNegationXorIdentities:
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_self_and_complement(self, bits):
+        bdd = fresh_manager()
+        n = to_node(bdd, bits)
+        assert bdd.apply_xor(n, n) == FALSE
+        assert bdd.apply_xor(n, bdd.apply_not(n)) == TRUE
+        assert bdd.apply_xor(n, FALSE) == n
+        assert bdd.apply_xor(n, TRUE) == bdd.apply_not(n)
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_negation_commutes(self, a, b):
+        # ~(a ^ b) == ~a ^ b == a ^ ~b: with complement edges all four
+        # polarities of an XOR must share one canonical structure.
+        bdd = fresh_manager()
+        na, nb = to_node(bdd, a), to_node(bdd, b)
+        lhs = bdd.apply_not(bdd.apply_xor(na, nb))
+        assert lhs == bdd.apply_xor(bdd.apply_not(na), nb)
+        assert lhs == bdd.apply_xor(na, bdd.apply_not(nb))
+        assert lhs == bdd.apply_xnor(na, nb)
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_and_or_absorption_under_negation(self, a, b):
+        bdd = fresh_manager()
+        na, nb = to_node(bdd, a), to_node(bdd, b)
+        assert bdd.apply_and(na, bdd.apply_not(na)) == FALSE
+        assert bdd.apply_or(na, bdd.apply_not(na)) == TRUE
+        assert bdd.apply_implies(na, nb) == bdd.apply_or(bdd.apply_not(na), nb)
+
+
+class TestBoundedCacheEviction:
+    """Auto-eviction mid-computation must never change results."""
+
+    @given(st.lists(TABLE_BITS, min_size=4, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_tiny_cache_matches_oracle(self, tables):
+        # cache_limit=64 forces evictions *during* the op sequence below;
+        # results must match plain big-int arithmetic regardless.
+        bdd = BDD(cache_limit=64)
+        bdd.add_vars(N_VARS)
+        levels = list(range(N_VARS))
+        nodes = [bdd.from_truth_bits(t, levels) for t in tables]
+        acc_node, acc_bits = nodes[0], tables[0]
+        for node, bits in zip(nodes[1:], tables[1:]):
+            acc_node = bdd.apply_xor(bdd.apply_and(acc_node, node), bdd.apply_or(acc_node, node))
+            acc_bits = (acc_bits & bits) ^ (acc_bits | bits)
+            assert bdd.to_truth_bits(acc_node, levels) == acc_bits
+        stats = bdd.cache_stats()
+        assert stats["entries"] <= 64
+
+    def test_eviction_counter_increments(self):
+        bdd = BDD(cache_limit=32)
+        bdd.add_vars(8)
+        import random
+
+        rng = random.Random(7)
+        levels = list(range(8))
+        f = bdd.from_truth_bits(rng.getrandbits(256), levels)
+        g = bdd.from_truth_bits(rng.getrandbits(256), levels)
+        bdd.apply_xor(bdd.apply_and(f, g), bdd.apply_or(f, g))
+        stats = bdd.cache_stats()
+        assert stats["evictions"] > 0
+        assert stats["entries"] <= 32
+
+    def test_maybe_clear_caches_is_deprecated_noop(self):
+        import warnings
+
+        bdd = BDD()
+        bdd.add_vars(2)
+        bdd.apply_and(bdd.var(0), bdd.var(1))
+        before = bdd.cache_size()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            try:
+                bdd.maybe_clear_caches()
+            except DeprecationWarning:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("expected DeprecationWarning")
+        assert bdd.cache_size() == before
+
+
 class TestSatcount:
     @given(TABLE_BITS)
     @settings(max_examples=60, deadline=None)
