@@ -9,7 +9,7 @@ counts (paper: 11 LUTs single vs 7 LUTs multiple-output).
 
 import pytest
 
-from benchmarks.conftest import emit, reset_results
+from benchmarks.conftest import emit, json_row, reset_results, run_traced, write_json
 from repro.benchcircuits import get_circuit
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow
 
@@ -23,6 +23,7 @@ def _report():
     reset_results(MODULE)
     emit(MODULE, "== Fig. 1: rd53 decomposed into 4-input LUTs ==")
     yield
+    write_json(MODULE, paper_single=PAPER["single"], paper_multi=PAPER["multi"])
     if len(_measured) == 2:
         emit(
             MODULE,
@@ -52,6 +53,22 @@ def test_fig1_rd53(benchmark, mode):
     _measured[mode] = result.num_luts
     emit(MODULE, f"  {mode:>6}: {result.num_luts} LUTs "
                  f"(m = {result.max_group_outputs}, p = {result.max_globals})")
+
+    # One extra traced run gives the per-phase breakdown for the JSON
+    # artifact (and pins that tracing does not change the result).
+    traced, phases = run_traced(run)
+    assert traced.num_luts == result.num_luts
+    stats = result.bdd_stats
+    json_row(
+        MODULE,
+        name=f"rd53_{mode}",
+        luts=result.num_luts,
+        max_m=result.max_group_outputs,
+        max_p=result.max_globals,
+        bdd_nodes=stats.get("nodes"),
+        cache_hit_rate=round(stats.get("hit_rate", 0.0), 4),
+        phases=phases,
+    )
 
 
 def test_fig1_sharing_is_real(benchmark):

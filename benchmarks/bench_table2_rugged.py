@@ -20,7 +20,15 @@ import time
 
 import pytest
 
-from benchmarks.conftest import QUICK, emit, fmt, json_row, reset_results, write_json
+from benchmarks.conftest import (
+    QUICK,
+    emit,
+    fmt,
+    json_row,
+    reset_results,
+    run_traced,
+    write_json,
+)
 from repro.algebraic.rugged import rugged
 from repro.benchcircuits import get_circuit
 from repro.mapping.flow import FlowConfig, verify_flow_sim
@@ -82,10 +90,14 @@ def test_table2_rugged_circuit(benchmark, name):
     original, pre = _prestructure(name)
 
     def run_multi():
-        return synthesize_structural(pre, FlowConfig(k=5, mode="multi"))
+        # Traced so the JSON artifact carries the per-phase breakdown
+        # (partial_collapse vs map); overhead is well under 1%.
+        return run_traced(
+            lambda: synthesize_structural(pre, FlowConfig(k=5, mode="multi"))
+        )
 
     start = time.perf_counter()
-    multi = benchmark.pedantic(run_multi, rounds=1, iterations=1)
+    multi, phases = benchmark.pedantic(run_multi, rounds=1, iterations=1)
     cpu = time.perf_counter() - start
     single = synthesize_structural(pre, FlowConfig(k=5, mode="single"))
 
@@ -110,4 +122,5 @@ def test_table2_rugged_circuit(benchmark, name):
         cache_hit_rate=round(stats.get("hit_rate", 0.0), 4),
         cache_entries=stats.get("entries"),
         cache_evictions=stats.get("evictions"),
+        phases=phases,
     )

@@ -54,6 +54,23 @@ def json_row(module: str, **fields: Any) -> None:
     _JSON_ROWS.setdefault(module, []).append(fields)
 
 
+def run_traced(fn):
+    """Run ``fn`` under a fresh tracer; return ``(result, phases)``.
+
+    ``phases`` maps slash-joined span paths (``synthesize/collapse``, ...)
+    to seconds -- the same flattening the run-report CLI uses (see
+    :func:`repro.observe.flatten_phases`).  Attach it to a :func:`json_row`
+    so the ``BENCH_*.json`` artifacts carry per-phase breakdowns.
+    """
+    from repro import observe
+    from repro.observe import Tracer, build_report, flatten_phases
+
+    tracer = Tracer()
+    with observe.tracing(tracer):
+        result = fn()
+    return result, flatten_phases(build_report(tracer))
+
+
 def write_json(module: str, **meta: Any) -> None:
     """Write the queued records of a module as ``BENCH_<module>.json``.
 

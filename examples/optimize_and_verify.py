@@ -43,7 +43,7 @@ def step(name: str, net: Network, reference: Network) -> None:
     result = check_equivalence(reference, net)
     status = "equivalent" if result else f"MISMATCH on {result.failing_output}"
     print(f"{name:<18} {network_stats(net)}  [{status}, {result.method}]")
-    assert result.equivalent
+    result.expect(f"{name} broke equivalence")
 
 
 def main() -> None:

@@ -28,15 +28,23 @@ for the experiment-by-experiment reproduction notes.
 from repro.bdd import BDD, Function
 from repro.boolfunc import Cube, Sop, TruthTable
 from repro.decompose import Partition, SingleDecomposition, decompose_single
+from repro.errors import (
+    BudgetExceeded,
+    DecompositionError,
+    ReproError,
+    VerificationError,
+)
 from repro.imodec import MultiOutputDecomposition, SharedFunction, decompose_multi
 from repro.mapping import FlowConfig, FlowResult, pack_xc3000, synthesize
 from repro.network import LogicNode, Network, collapse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BDD",
+    "BudgetExceeded",
     "Cube",
+    "DecompositionError",
     "FlowConfig",
     "FlowResult",
     "Function",
@@ -44,10 +52,12 @@ __all__ = [
     "MultiOutputDecomposition",
     "Network",
     "Partition",
+    "ReproError",
     "SharedFunction",
     "SingleDecomposition",
     "Sop",
     "TruthTable",
+    "VerificationError",
     "collapse",
     "decompose_multi",
     "decompose_single",

@@ -24,8 +24,9 @@ XOR; OR/XNOR/IMPLIES are O(1) De Morgan wrappers) instead of the generic
 ``ite``.  All memoization lives in a single size-bounded operation cache with
 hit/miss/eviction counters (:meth:`BDD.cache_stats`); when the cache exceeds
 ``cache_limit`` entries the oldest half is dropped (insertion-order FIFO), so
-long synthesis runs need no manual cache management --
-:meth:`BDD.maybe_clear_caches` survives only as a deprecated no-op shim.
+long synthesis runs need no manual cache management.  (The historical
+``maybe_clear_caches`` pressure valve is gone; size the cache with the
+``cache_limit`` constructor argument and monitor it with ``cache_stats()``.)
 
 The public API works on raw integer edges (historically called "node ids";
 the terms are used interchangeably below).  Most client code should use
@@ -40,7 +41,6 @@ and optionally carry a name.  The variable order is the creation order unless
 
 from __future__ import annotations
 
-import warnings
 from itertools import islice
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -299,22 +299,6 @@ class BDD:
             "evictions": self._evictions,
             "nodes": len(self._level),
         }
-
-    def maybe_clear_caches(self, limit: int | None = None) -> bool:
-        """Deprecated no-op: the bounded operation cache evicts automatically.
-
-        Earlier revisions required call sites to clear the (unbounded) memo
-        tables manually; the unified cache now drops its oldest half whenever
-        it exceeds ``cache_limit`` entries, so manual management is obsolete.
-        Always returns False.
-        """
-        warnings.warn(
-            "BDD.maybe_clear_caches() is deprecated and is now a no-op; the "
-            "bounded operation cache evicts automatically",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return False
 
     def _evict(self) -> None:
         """Drop the oldest half of the operation cache (insertion order)."""

@@ -4,22 +4,32 @@ Usage::
 
     python -m repro.cli synth design.pla --mode multi --k 5 -o mapped.blif
     python -m repro.cli synth design.blif --rugged --structural --stats
+    python -m repro.cli synth design.pla --report run.json --trace
     python -m repro.cli info design.blif
 
 ``synth`` reads a PLA or BLIF file, optionally pre-structures it with the
 rugged-style script, maps it to k-input LUTs with multiple-output (IMODEC)
 or single-output decomposition, verifies the result, reports XC3000 CLB
 counts and optionally writes the mapped netlist as BLIF.
+
+Observability: ``--report FILE`` writes a machine-readable JSON run report
+(per-phase wall-clock, BDD node and cache deltas, IMODEC iteration counts;
+see ``docs/OBSERVABILITY.md``), ``--trace`` prints the span tree to stderr,
+and ``--budget-seconds`` / ``--budget-nodes`` arm soft budgets that abort a
+runaway synthesis with exit code 3 instead of running unbounded.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro import observe
 from repro.algebraic.rugged import rugged
+from repro.errors import BudgetExceeded
 from repro.io.blif import parse_blif, write_blif
 from repro.io.pla import parse_pla
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
@@ -27,20 +37,53 @@ from repro.mapping.structural import synthesize_structural
 from repro.mapping.xc3000 import pack_xc3000
 from repro.network.network import Network
 from repro.network.stats import network_stats
+from repro.observe import Budget, Tracer, build_report, format_tree
+
+#: First tokens that identify a BLIF file when the suffix does not.
+_BLIF_TOKENS = {".model", ".inputs", ".outputs", ".names", ".exdc"}
 
 
 def load_network(path: Path) -> Network:
-    """Read a PLA or BLIF file, dispatching on suffix/content."""
+    """Read a PLA or BLIF file, dispatching on suffix, then content.
+
+    An explicit ``.pla`` / ``.blif`` suffix is authoritative -- in
+    particular a ``.blif`` file beginning with ``.inputs`` is never
+    mis-sniffed as PLA (both formats start with ``.i``...).  Other suffixes
+    fall back to sniffing the first token; unrecognizable content raises a
+    one-line :class:`ValueError` (exit code 2 from :func:`main`).
+    """
     text = path.read_text()
-    if path.suffix.lower() == ".pla" or text.lstrip().startswith(".i"):
+    suffix = path.suffix.lower()
+    if suffix == ".pla":
         return parse_pla(text, name=path.stem)
-    return parse_blif(text)
+    if suffix == ".blif":
+        return parse_blif(text)
+    first_token = text.lstrip().split(None, 1)[0] if text.strip() else ""
+    if first_token == ".i":
+        return parse_pla(text, name=path.stem)
+    if first_token in _BLIF_TOKENS:
+        return parse_blif(text)
+    raise ValueError(
+        f"{path}: cannot determine input format "
+        "(expected a .pla or .blif file, or PLA/BLIF content)"
+    )
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     net = load_network(Path(args.input))
     print(f"{net.name}: {network_stats(net)}")
     return 0
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    budgets: dict[str, Budget] = {}
+    if args.budget_seconds is not None or args.budget_nodes is not None:
+        budgets["synthesize"] = Budget(
+            seconds=args.budget_seconds, nodes=args.budget_nodes
+        )
+    if args.report or args.trace or budgets:
+        return Tracer(budgets=budgets)
+    return None
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
@@ -55,14 +98,50 @@ def cmd_synth(args: argparse.Namespace) -> int:
         print(f"rugged: {network_stats(net)}  ({time.perf_counter() - start:.1f}s)")
 
     config = FlowConfig(k=args.k, mode=args.mode, strict=args.strict, jobs=args.jobs)
+    tracer = _make_tracer(args)
+
+    def run() -> tuple:
+        with observe.span("synthesize"):
+            if args.structural:
+                res = synthesize_structural(net, config)
+            else:
+                res = synthesize(net, config)
+        with observe.span("verify"):
+            if args.structural:
+                good = verify_flow_sim(reference, res)
+            else:
+                good = verify_flow(reference, res)
+        return res, good
+
     start = time.perf_counter()
-    if args.structural:
-        result = synthesize_structural(net, config)
-        ok = verify_flow_sim(reference, result)
+    if tracer is not None:
+        with observe.tracing(tracer):
+            result, ok = run()
     else:
-        result = synthesize(net, config)
-        ok = verify_flow(reference, result)
+        result, ok = run()
     elapsed = time.perf_counter() - start
+
+    if tracer is not None:
+        if args.trace:
+            print(format_tree(tracer), file=sys.stderr)
+        if args.report:
+            report = build_report(
+                tracer,
+                meta={
+                    "circuit": net.name,
+                    "input": str(path),
+                    "k": args.k,
+                    "mode": args.mode,
+                    "structural": bool(args.structural),
+                    "rugged": bool(args.rugged),
+                    "jobs": args.jobs,
+                    "luts": result.num_luts,
+                    "verified": bool(ok),
+                    "wall_clock_seconds": elapsed,
+                },
+            )
+            Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+            print(f"report: {args.report}")
 
     if not ok:
         print("ERROR: mapped network is NOT equivalent to the input", file=sys.stderr)
@@ -109,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partial-collapse flow (for circuits too large to collapse)")
     synth.add_argument("--stats", action="store_true",
                        help="print decomposition statistics (m, p)")
+    synth.add_argument("--report", metavar="FILE",
+                       help="write a JSON run report (see docs/OBSERVABILITY.md)")
+    synth.add_argument("--trace", action="store_true",
+                       help="print the traced span tree to stderr")
+    synth.add_argument("--budget-seconds", type=float, metavar="S",
+                       help="soft wall-clock budget of the synthesis phase")
+    synth.add_argument("--budget-nodes", type=int, metavar="N",
+                       help="soft budget on BDD nodes allocated during synthesis")
     synth.add_argument("-o", "--output", help="write the mapped netlist as BLIF")
     synth.set_defaults(func=cmd_synth)
     return parser
@@ -118,7 +205,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except FileNotFoundError as exc:
+    except BudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:

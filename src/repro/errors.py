@@ -1,0 +1,70 @@
+"""Exception hierarchy of the repro package.
+
+Library code raises real exceptions on every load-bearing invariant --
+``assert`` statements vanish under ``python -O`` and turned broken internal
+state into crashes far from the cause.  All domain errors derive from
+:class:`ReproError` so callers can catch the whole family at the flow
+boundary while still matching specific failures.
+
+The classes live in their own dependency-free module so every layer (BDD
+engine, IMODEC, partitioning, flow, CLI, observability) can import them
+without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(RuntimeError):
+    """Base class of all domain errors raised by the repro package."""
+
+
+class DecompositionError(ReproError):
+    """The decomposition machinery reached an inconsistent state.
+
+    Raised when an internal invariant of the implicit algorithm (Lmax layer
+    computation, partial-assignment refinement, bound-set scoring) is
+    violated -- always a bug or an unsupported input, never a routine
+    condition.
+    """
+
+
+class VerificationError(ReproError):
+    """An equivalence check failed.
+
+    Carries the failing output and a counterexample input vector when the
+    check produced one (the exact BDD check always does).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failing_output: str | None = None,
+        counterexample: dict[str, bool] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.failing_output = failing_output
+        self.counterexample = counterexample
+
+
+class BudgetExceeded(ReproError):
+    """A traced span blew past its soft resource budget.
+
+    Structured so callers can degrade gracefully (fall back to a cheaper
+    strategy, return partial results, abort one group instead of the whole
+    run) rather than letting a pathological instance run unbounded.
+
+    Attributes:
+        span: name of the span whose budget was exceeded.
+        metric: ``"seconds"`` or ``"nodes"``.
+        limit: the configured threshold.
+        actual: the observed value at the enforcement point.
+    """
+
+    def __init__(self, span: str, metric: str, limit: float, actual: float) -> None:
+        super().__init__(
+            f"span {span!r} exceeded its {metric} budget: {actual:g} > {limit:g}"
+        )
+        self.span = span
+        self.metric = metric
+        self.limit = limit
+        self.actual = actual

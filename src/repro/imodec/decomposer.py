@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import observe
 from repro.bdd.manager import BDD
 from repro.boolfunc.truthtable import TruthTable
 from repro.decompose.compat import codewidth, cofactor_map
@@ -38,8 +39,10 @@ from repro.imodec.lmax import TieBreak, lmax
 from repro.imodec.zspace import ZSpace
 
 
-class DecompositionError(RuntimeError):
-    """Raised when the implicit algorithm reaches an inconsistent state."""
+# Historical home of DecompositionError; it now lives in repro.errors so
+# every layer can raise it without import cycles.  Re-exported for
+# compatibility with existing imports.
+from repro.errors import DecompositionError  # noqa: E402,F401
 
 
 @dataclass
@@ -137,7 +140,30 @@ def decompose_multi(
     one-code-per-class baseline (Karp's strict decomposition, the paper's
     refs [10, 11]); the non-strict default detects strictly more shared
     functions.
+
+    When a tracer is installed (:mod:`repro.observe`), the whole call is
+    recorded under an ``imodec`` span with per-iteration Lmax counts, chi
+    cache behaviour, z-space sizes, and pool growth.
     """
+    with observe.span("imodec"):
+        return _decompose_multi_impl(
+            bdd, f_nodes, bs_levels, fs_levels,
+            tie_break=tie_break, code_prefix=code_prefix, build_g=build_g,
+            dc_fill=dc_fill, strict=strict,
+        )
+
+
+def _decompose_multi_impl(
+    bdd: BDD,
+    f_nodes: Sequence[int],
+    bs_levels: Sequence[int],
+    fs_levels: Sequence[int],
+    tie_break: TieBreak,
+    code_prefix: str,
+    build_g: bool,
+    dc_fill: str,
+    strict: bool,
+) -> MultiOutputDecomposition:
     bs = list(bs_levels)
     fs = list(fs_levels)
     if set(bs) & set(fs):
@@ -175,6 +201,8 @@ def decompose_multi(
     d_pool: list[SharedFunction] = []
     chi_cache: dict[tuple, int] = {}
 
+    traced = observe.enabled()
+
     def chi_of(k: int) -> int:
         remaining = codewidths[k] - len(assigned[k])
         key = (k, remaining, _blocks_key(blocks[k]))
@@ -184,12 +212,19 @@ def decompose_multi(
                 zspace, blocks[k], remaining, normalize=True, strict=strict
             )
             chi_cache[key] = node
+            if traced:
+                observe.add("chi_computed")
+                observe.add("chi_nodes", zspace.bdd.size(node))
+        elif traced:
+            observe.add("chi_cache_hits")
         return node
 
     while True:
+        observe.checkpoint()  # budget enforcement per fixpoint iteration
         active = [k for k in range(m) if len(assigned[k]) < codewidths[k]]
         if not active:
             break
+        observe.add("iterations")
         chis = [chi_of(k) for k in active]
         result = lmax(zspace, chis, tie_break=tie_break)
         if result.count == 0:
@@ -229,6 +264,16 @@ def decompose_multi(
                 "Lmax produced a vertex outside every active characteristic "
                 "function; this indicates a bug in the layer computation"
             )
+        observe.add("lmax_sharing", result.count)
+
+    if traced:
+        observe.add("calls")
+        observe.add("outputs", m)
+        observe.add("global_classes", p)
+        observe.add("pool_functions", len(d_pool))
+        observe.add("zspace_nodes", zspace.bdd.num_nodes)
+        observe.gauge("max_global_classes", p)
+        observe.gauge("max_pool_functions", len(d_pool))
 
     # Build the composition functions.
     code_levels: list[list[int]] = []

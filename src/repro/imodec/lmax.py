@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Literal, Sequence
 
 from repro.bdd.manager import FALSE, TRUE
+from repro.errors import DecompositionError
 from repro.imodec.zspace import ZSpace
 
 TieBreak = Literal["first", "balanced"]
@@ -61,13 +62,25 @@ def pick_vertex(zspace: ZSpace, winners: int, tie_break: TieBreak = "first") -> 
     ``balanced`` walks the BDD preferring the branch that keeps the number of
     onset classes close to half of ``p`` -- a mild heuristic that tends to
     produce decomposition functions with balanced code usage.
+
+    The balanced walk descends with the manager's :meth:`BDD.low` /
+    :meth:`BDD.high` accessors, which propagate the complement attribute of
+    the incoming edge (required since the complement-edge engine: reading
+    the stored child arrays directly would flip the chosen branch under a
+    negated winner set).  Levels the walk never meets -- skipped free
+    variables -- leave the current edge untouched, so the walk ends on the
+    TRUE terminal for every choice of free values; anything else means the
+    winner set was corrupt and raises :class:`DecompositionError`.
     """
     bdd = zspace.bdd
     if winners == FALSE:
         raise ValueError("winner set is empty")
     if tie_break == "first":
         partial = bdd.sat_one(winners)
-        assert partial is not None
+        if partial is None:
+            raise DecompositionError(
+                "sat_one returned no model for a non-FALSE winner set"
+            )
         return {lvl: partial.get(lvl, False) for lvl in zspace.levels}
     if tie_break != "balanced":
         raise ValueError(f"unknown tie-break strategy {tie_break!r}")
@@ -78,6 +91,7 @@ def pick_vertex(zspace: ZSpace, winners: int, tie_break: TieBreak = "first") -> 
     node = winners
     for lvl in zspace.levels:
         if not bdd.is_terminal(node) and bdd.level(node) == lvl:
+            # Polarity-propagating accessors: complement edges resolved here.
             lo, hi = bdd.low(node), bdd.high(node)
             prefer_one = ones < target
             if prefer_one and hi != FALSE:
@@ -94,7 +108,11 @@ def pick_vertex(zspace: ZSpace, winners: int, tie_break: TieBreak = "first") -> 
             vertex[lvl] = ones < target
         if vertex[lvl]:
             ones += 1
-    assert node == TRUE
+    if node != TRUE:
+        raise DecompositionError(
+            "balanced tie-break walk left the winner set (ended on "
+            f"edge {node} instead of TRUE); the z-space BDD is inconsistent"
+        )
     return vertex
 
 
@@ -107,4 +125,4 @@ def lmax(zspace: ZSpace, chis: Sequence[int], tie_break: TieBreak = "first") -> 
         if layers[count] != FALSE:
             vertex = pick_vertex(zspace, layers[count], tie_break)
             return LmaxResult(count=count, winners=layers[count], vertex=vertex)
-    raise AssertionError("layer 0 is the full space; unreachable")
+    raise DecompositionError("layer 0 is the full space; unreachable")

@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal
 
+from repro import observe
 from repro.bdd.manager import BDD, FALSE, TRUE
 from repro.boolfunc.sop import Sop
 from repro.boolfunc.truthtable import TruthTable
+from repro.errors import DecompositionError
 from repro.imodec.decomposer import decompose_multi
 from repro.imodec.lmax import TieBreak
 from repro.mapping.lut import check_k_feasible
@@ -156,12 +158,14 @@ class _FlowState:
         name = self.lut.fresh_name("L")
         self.lut.add_node(name, fanins, Sop.from_truthtable(table))
         cache[f] = name
+        observe.add("luts_emitted")
         return name
 
     # ------------------------------------------------------------------
 
     def emit_vector(self, f_nodes: list[int], cache: dict[int, str]) -> list[str]:
         """Map a vector of functions to signals, recursively."""
+        observe.checkpoint()  # budget enforcement point per recursion step
         config = self.config
         bdd = self.bdd
         signals: list[str | None] = [None] * len(f_nodes)
@@ -218,7 +222,11 @@ class _FlowState:
                 key = (0 if prog else 1, res.num_functions, g_inputs)
                 if best_key is None or key < best_key:
                     best, best_key = (res, bs_, prog), key
-            assert best is not None
+            if best is None:
+                raise DecompositionError(
+                    f"no scorer produced a decomposition for a {len(vec)}-output "
+                    f"vector with bound size {bound}"
+                )
             return best
 
         # Bound-size ladder: start at the configured size (default k) and
@@ -267,6 +275,13 @@ class _FlowState:
                 num_functions_unshared=result.num_functions_unshared,
             )
         )
+        observe.add("groups_decomposed")
+        observe.add(
+            "functions_shared_away",
+            result.num_functions_unshared - result.num_functions,
+        )
+        observe.gauge("max_group_outputs", len(vector))
+        observe.gauge("max_global_classes", result.num_global_classes)
 
         stuck = [j for j in range(len(pending)) if j not in progressing]
 
@@ -316,6 +331,7 @@ class _FlowState:
         hi = bdd.cofactor(f, lvl, True)
         lo_sig, hi_sig = self.emit_vector([lo, hi], cache)
         sel_sig = self.signal_of_level[lvl]
+        observe.add("shannon_splits")
         name = self.lut.fresh_name("M")
         # mux(s, lo, hi): fanins [sel, lo, hi]
         self.lut.add_node(
@@ -329,7 +345,9 @@ class _FlowState:
 def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult:
     """Run the full flow on a combinational network."""
     config = config or FlowConfig()
-    collapsed = collapse(network)
+    with observe.span("collapse"):
+        collapsed = collapse(network)
+        observe.watch(collapsed.bdd)
     state = _FlowState.from_collapsed(collapsed, config)
     bdd = collapsed.bdd
 
@@ -343,11 +361,12 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
         if config.output_grouping == "fast":
             from repro.partitioning.outputs import partition_outputs_fast
 
-            groups_idx = partition_outputs_fast(
-                bdd,
-                [out_nodes[i] for i in nontrivial],
-                max_group=config.max_group,
-            )
+            with observe.span("partition_outputs"):
+                groups_idx = partition_outputs_fast(
+                    bdd,
+                    [out_nodes[i] for i in nontrivial],
+                    max_group=config.max_group,
+                )
         else:
             groups_idx = partition_outputs(
                 bdd,
@@ -365,14 +384,16 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
         groups = [[i] for i in range(len(out_nodes))]
 
     output_signals: dict[str, str] = {}
-    for group in groups:
-        cache: dict[int, str] = {}
-        signals = state.emit_vector([out_nodes[i] for i in group], cache)
-        for i, sig in zip(group, signals):
-            output_signals[out_names[i]] = sig
+    with observe.span("map"):
+        observe.add("groups", len(groups))
+        for group in groups:
+            cache: dict[int, str] = {}
+            signals = state.emit_vector([out_nodes[i] for i in group], cache)
+            for i, sig in zip(group, signals):
+                output_signals[out_names[i]] = sig
 
-    state.lut.set_outputs(sorted(set(output_signals.values())))
-    check_k_feasible(state.lut, config.k)
+        state.lut.set_outputs(sorted(set(output_signals.values())))
+        check_k_feasible(state.lut, config.k)
     return FlowResult(
         network=state.lut,
         output_signals=output_signals,

@@ -25,6 +25,7 @@ rows equal the collapsed-flow results.
 
 from __future__ import annotations
 
+from repro import observe
 from repro.bdd.manager import BDD, FALSE, TRUE
 from repro.mapping.flow import FlowConfig, FlowResult, GroupRecord, _FlowState
 from repro.mapping.lut import check_k_feasible
@@ -138,7 +139,10 @@ def synthesize_structural(
 ) -> FlowResult:
     """Map a multi-level network to LUTs via partial collapse."""
     config = config or FlowConfig()
-    bdd, frontier, items, rep = partial_collapse(network, max_cluster_inputs)
+    with observe.span("partial_collapse"):
+        bdd, frontier, items, rep = partial_collapse(network, max_cluster_inputs)
+        observe.watch(bdd)
+        observe.add("clusters", len(items))
 
     lut = Network("mapped")
     signal_of_level: dict[int, str] = {}
@@ -152,31 +156,33 @@ def synthesize_structural(
         if sig in emitted:
             signal_of_level[lvl] = emitted[sig]
 
-    for batch in _independent_batches(bdd, items, frontier):
-        nodes = [node for _, node in batch]
-        names = [sig for sig, _ in batch]
-        if config.mode == "multi" and len(batch) > 1:
-            levels = sorted(set().union(*(bdd.support(n) for n in nodes)) or {0})
-            groups = partition_outputs(
-                bdd,
-                nodes,
-                levels,
-                min(config.bound_size or config.k, config.k),
-                max_group=config.max_group,
-                max_globals=config.max_globals,
-                jobs=config.jobs,
-            )
-        else:
-            groups = [[i] for i in range(len(batch))]
-        for group in groups:
-            cache: dict[int, str] = {}
-            signals = state.emit_vector([nodes[i] for i in group], cache)
-            for i, sig in zip(group, signals):
-                emitted[names[i]] = sig
-        # boundary variables of this batch now resolve to their LUT signals
-        for lvl, sig in frontier.items():
-            if sig in emitted and lvl not in signal_of_level:
-                signal_of_level[lvl] = emitted[sig]
+    with observe.span("map"):
+        for batch in _independent_batches(bdd, items, frontier):
+            observe.add("batches")
+            nodes = [node for _, node in batch]
+            names = [sig for sig, _ in batch]
+            if config.mode == "multi" and len(batch) > 1:
+                levels = sorted(set().union(*(bdd.support(n) for n in nodes)) or {0})
+                groups = partition_outputs(
+                    bdd,
+                    nodes,
+                    levels,
+                    min(config.bound_size or config.k, config.k),
+                    max_group=config.max_group,
+                    max_globals=config.max_globals,
+                    jobs=config.jobs,
+                )
+            else:
+                groups = [[i] for i in range(len(batch))]
+            for group in groups:
+                cache: dict[int, str] = {}
+                signals = state.emit_vector([nodes[i] for i in group], cache)
+                for i, sig in zip(group, signals):
+                    emitted[names[i]] = sig
+            # boundary variables of this batch now resolve to their LUT signals
+            for lvl, sig in frontier.items():
+                if sig in emitted and lvl not in signal_of_level:
+                    signal_of_level[lvl] = emitted[sig]
 
     output_signals = {name: emitted[name] for name in network.outputs}
     lut.set_outputs(sorted(set(output_signals.values())))

@@ -1,0 +1,6 @@
+"""``python -m repro.observe REPORT.json ...`` validates run reports."""
+
+from repro.observe.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Machine-readable run reports and their schema.
+
+A run report is the JSON serialization of a :class:`repro.observe.Tracer`
+span tree plus run metadata.  The format is versioned
+(``repro-run-report/1``) and validated by :func:`validate_report` -- a
+dependency-free structural checker the CI smoke runs against every emitted
+report (``python -m repro.observe out.json``).
+
+Schema (all times in seconds, all counters numeric)::
+
+    {
+      "schema": "repro-run-report/1",
+      "total_seconds": <float>,          # sum of top-level span times
+      "meta": {<str>: <scalar>, ...},    # free-form run metadata
+      "spans": [<span>, ...]             # top-level spans in open order
+    }
+    <span> = {
+      "name": <str>,
+      "seconds": <float>,
+      "calls": <int >= 1>,
+      "counters": {<str>: <number>, ...},
+      "children": [<span>, ...]
+    }
+
+:func:`format_tree` renders the same tree for humans (the CLI's
+``--trace``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.observe.tracer import Span, Tracer
+
+SCHEMA_ID = "repro-run-report/1"
+
+
+class ReportSchemaError(ValueError):
+    """A payload does not conform to the run-report schema."""
+
+
+def _span_payload(span: Span) -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "seconds": span.seconds,
+        "calls": span.calls,
+        "counters": dict(span.counters),
+        "children": [_span_payload(c) for c in span.children.values()],
+    }
+
+
+def build_report(tracer: Tracer, meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Serialize a tracer's span tree as a schema-conforming report."""
+    spans = [_span_payload(c) for c in tracer.root.children.values()]
+    return {
+        "schema": SCHEMA_ID,
+        "total_seconds": sum(s["seconds"] for s in spans),
+        "meta": dict(meta or {}),
+        "spans": spans,
+    }
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _fail(path: str, message: str) -> None:
+    raise ReportSchemaError(f"{path}: {message}")
+
+
+def _validate_span(span: Any, path: str) -> None:
+    if not isinstance(span, dict):
+        _fail(path, "span must be an object")
+    required = {"name", "seconds", "calls", "counters", "children"}
+    missing = required - span.keys()
+    if missing:
+        _fail(path, f"missing keys {sorted(missing)}")
+    extra = span.keys() - required
+    if extra:
+        _fail(path, f"unknown keys {sorted(extra)}")
+    if not isinstance(span["name"], str) or not span["name"]:
+        _fail(path, "name must be a non-empty string")
+    if not isinstance(span["seconds"], (int, float)) or isinstance(span["seconds"], bool):
+        _fail(path, "seconds must be a number")
+    if span["seconds"] < 0:
+        _fail(path, "seconds must be non-negative")
+    if not isinstance(span["calls"], int) or isinstance(span["calls"], bool) or span["calls"] < 1:
+        _fail(path, "calls must be a positive integer")
+    if not isinstance(span["counters"], dict):
+        _fail(path, "counters must be an object")
+    for key, value in span["counters"].items():
+        if not isinstance(key, str):
+            _fail(path, "counter names must be strings")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(path, f"counter {key!r} must be a number")
+    if not isinstance(span["children"], list):
+        _fail(path, "children must be an array")
+    names = [c.get("name") if isinstance(c, dict) else None for c in span["children"]]
+    if len(names) != len(set(names)):
+        _fail(path, "sibling spans must have distinct names")
+    for child in span["children"]:
+        name = child.get("name", "?") if isinstance(child, dict) else "?"
+        _validate_span(child, f"{path}/{name}")
+
+
+def validate_report(payload: Any) -> dict[str, Any]:
+    """Check a parsed report against the schema; return it on success.
+
+    Raises :class:`ReportSchemaError` naming the offending path otherwise.
+    """
+    if not isinstance(payload, dict):
+        _fail("$", "report must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        _fail("$.schema", f"expected {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    required = {"schema", "total_seconds", "meta", "spans"}
+    missing = required - payload.keys()
+    if missing:
+        _fail("$", f"missing keys {sorted(missing)}")
+    total = payload["total_seconds"]
+    if not isinstance(total, (int, float)) or isinstance(total, bool) or total < 0:
+        _fail("$.total_seconds", "must be a non-negative number")
+    if not isinstance(payload["meta"], dict):
+        _fail("$.meta", "must be an object")
+    for key, value in payload["meta"].items():
+        if not isinstance(key, str) or not isinstance(value, _SCALAR):
+            _fail("$.meta", f"entry {key!r} must map a string to a scalar")
+    if not isinstance(payload["spans"], list):
+        _fail("$.spans", "must be an array")
+    for span in payload["spans"]:
+        name = span.get("name", "?") if isinstance(span, dict) else "?"
+        _validate_span(span, f"$.spans/{name}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# human-readable rendering
+# ----------------------------------------------------------------------
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _format_span(span: dict[str, Any], depth: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    calls = f" x{span['calls']}" if span["calls"] > 1 else ""
+    counters = "".join(
+        f" {key}={_format_value(value)}" for key, value in sorted(span["counters"].items())
+    )
+    lines.append(f"{indent}{span['name']}: {span['seconds']:.3f}s{calls}{counters}")
+    for child in span["children"]:
+        _format_span(child, depth + 1, lines)
+
+
+def format_tree(source: Tracer | dict[str, Any]) -> str:
+    """Render a tracer or report payload as an indented span tree."""
+    payload = build_report(source) if isinstance(source, Tracer) else source
+    lines = [f"total: {payload['total_seconds']:.3f}s"]
+    for span in payload["spans"]:
+        _format_span(span, 1, lines)
+    return "\n".join(lines)
+
+
+def flatten_phases(payload: dict[str, Any]) -> dict[str, float]:
+    """Per-phase seconds keyed by slash-joined span path (for BENCH rows)."""
+    flat: dict[str, float] = {}
+
+    def walk(span: dict[str, Any], prefix: str) -> None:
+        path = f"{prefix}/{span['name']}" if prefix else span["name"]
+        flat[path] = round(span["seconds"], 6)
+        for child in span["children"]:
+            walk(child, path)
+
+    for span in payload["spans"]:
+        walk(span, "")
+    return flat
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate report files given on the command line (CI smoke)."""
+    import sys
+
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.observe REPORT.json ...", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                validate_report(json.load(fh))
+        except (OSError, json.JSONDecodeError, ReportSchemaError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

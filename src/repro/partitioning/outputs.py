@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import observe
 from repro.bdd.manager import BDD
 from repro.decompose.compat import codewidth, local_partition
 from repro.decompose.partitions import Partition
@@ -81,6 +82,7 @@ def trial_gain(
     # the better gain -- mirroring the flow's own dual attempt.
     best: TrialResult | None = None
     for scorer in ("compact", "shared") if len(f_nodes) > 1 else ("compact",):
+        observe.add("trial_decompositions")
         bs, fs = choose_bound_set(bdd, f_nodes, usable, bound_size, scorer=scorer, jobs=jobs)
         parts = [local_partition(bdd, f, bs) for f in f_nodes]
         glob = Partition.product_all(parts)
@@ -154,7 +156,29 @@ def partition_outputs(
     max_globals: int | None = 64,
     jobs: int = 1,
 ) -> list[list[int]]:
-    """Group output indices into decomposition vectors (the paper's heuristic)."""
+    """Group output indices into decomposition vectors (the paper's heuristic).
+
+    Recorded under a ``partition_outputs`` span (trial-decomposition counts,
+    resulting group shapes) when a tracer is installed.
+    """
+    with observe.span("partition_outputs"):
+        groups = _partition_outputs_impl(
+            bdd, f_nodes, input_levels, bound_size, max_group, max_globals, jobs
+        )
+        observe.add("groups_formed", len(groups))
+        observe.gauge("largest_group", max((len(g) for g in groups), default=0))
+        return groups
+
+
+def _partition_outputs_impl(
+    bdd: BDD,
+    f_nodes: Sequence[int],
+    input_levels: Sequence[int],
+    bound_size: int,
+    max_group: int | None,
+    max_globals: int | None,
+    jobs: int,
+) -> list[list[int]]:
     remaining = list(range(len(f_nodes)))
     solo: dict[int, int | None] = {
         k: solo_codewidth(bdd, f_nodes[k], input_levels, bound_size, jobs=jobs)

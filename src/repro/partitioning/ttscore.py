@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.bdd.manager import row_mask
+from repro.errors import DecompositionError
 
 #: Largest per-function support eligible for truth-table scoring.
 #: 2^14 rows = 2 KiB per packed table; beyond that, BDD cofactoring wins.
@@ -170,7 +171,11 @@ def score_combo(
                 # Mixed-radix fold: injective since ids are dense 0..n-1.
                 comp = [c + a * stride for c, a in zip(comp, arr)]
             stride *= max(id_arr) + 1
-        assert comp is not None
+        if comp is None:
+            raise DecompositionError(
+                "global-class fold over an empty involvement list; "
+                "score_combo invariant violated"
+            )
         num_globals = len(set(comp))
     if scorer == "shared":
         return num_globals, -dependence, total_classes

@@ -29,9 +29,11 @@ import random
 from concurrent.futures import ProcessPoolExecutor
 from typing import Literal, Sequence
 
+from repro import observe
 from repro.bdd.manager import BDD
 from repro.decompose.compat import local_partition
 from repro.decompose.partitions import Partition
+from repro.errors import DecompositionError
 from repro.partitioning.ttscore import (
     PARALLEL_MIN,
     TT_MAX_VARS,
@@ -138,7 +140,10 @@ def _best_candidate(
         )
         return min(w for w in winners if w is not None)[1]
     result = score_chunk(fns, indexed, scorer)
-    assert result is not None
+    if result is None:
+        raise DecompositionError(
+            "truth-table scoring returned no winner for a non-empty candidate set"
+        )
     return result[1]
 
 
@@ -158,53 +163,70 @@ def choose_bound_set(
     most ``len(input_levels) - 1`` variables can be bound.  ``jobs`` > 1
     fans the scoring loop out over a process pool (same result, see module
     docstring).
+
+    Recorded under a ``choose_bound_set`` span (candidates scored, scoring
+    engine taken) when a tracer is installed; tracing never changes the
+    chosen bound set.
     """
     levels = list(input_levels)
     n = len(levels)
     if not 1 <= bound_size < n:
         raise ValueError("need 1 <= bound_size < number of inputs")
 
-    if strategy == "auto":
-        num_candidates = _n_choose_k(n, bound_size)
-        strategy = "exhaustive" if num_candidates <= EXHAUSTIVE_BUDGET else "greedy"
+    with observe.span("choose_bound_set"):
+        if strategy == "auto":
+            num_candidates = _n_choose_k(n, bound_size)
+            strategy = "exhaustive" if num_candidates <= EXHAUSTIVE_BUDGET else "greedy"
 
-    fns = _prepare_functions(bdd, f_nodes) if strategy != "random" else None
+        fns = _prepare_functions(bdd, f_nodes) if strategy != "random" else None
+        if strategy != "random":
+            observe.add("tt_fast_path" if fns is not None else "bdd_scoring_path")
 
-    if strategy == "exhaustive":
-        combos = list(itertools.combinations(levels, bound_size))
-        if fns is not None:
-            bs = list(combos[_best_candidate(fns, combos, scorer, jobs)])
-        else:
-            best = None
-            best_score = None
-            for combo in combos:
-                score = score_bound_set(bdd, f_nodes, combo, scorer)
-                if best_score is None or score < best_score:
-                    best, best_score = list(combo), score
-            assert best is not None
-            bs = best
-    elif strategy == "greedy":
-        bs = []
-        remaining = list(levels)
-        while len(bs) < bound_size:
+        if strategy == "exhaustive":
+            combos = list(itertools.combinations(levels, bound_size))
+            observe.add("candidates_scored", len(combos))
             if fns is not None:
-                combos = [tuple(bs + [var]) for var in remaining]
-                best_var = remaining[_best_candidate(fns, combos, scorer, jobs)]
+                bs = list(combos[_best_candidate(fns, combos, scorer, jobs)])
             else:
-                best_var = None
+                best = None
                 best_score = None
-                for var in remaining:
-                    score = score_bound_set(bdd, f_nodes, bs + [var], scorer)
+                for combo in combos:
+                    score = score_bound_set(bdd, f_nodes, combo, scorer)
                     if best_score is None or score < best_score:
-                        best_var, best_score = var, score
-                assert best_var is not None
-            bs.append(best_var)
-            remaining.remove(best_var)
-    elif strategy == "random":
-        rng = rng or random.Random(0)
-        bs = rng.sample(levels, bound_size)
-    else:
-        raise ValueError(f"unknown strategy {strategy!r}")
+                        best, best_score = list(combo), score
+                if best is None:
+                    raise DecompositionError(
+                        "exhaustive bound-set search scored no candidate "
+                        f"(n={n}, bound_size={bound_size})"
+                    )
+                bs = best
+        elif strategy == "greedy":
+            bs = []
+            remaining = list(levels)
+            while len(bs) < bound_size:
+                observe.add("candidates_scored", len(remaining))
+                if fns is not None:
+                    combos = [tuple(bs + [var]) for var in remaining]
+                    best_var = remaining[_best_candidate(fns, combos, scorer, jobs)]
+                else:
+                    best_var = None
+                    best_score = None
+                    for var in remaining:
+                        score = score_bound_set(bdd, f_nodes, bs + [var], scorer)
+                        if best_score is None or score < best_score:
+                            best_var, best_score = var, score
+                    if best_var is None:
+                        raise DecompositionError(
+                            "greedy bound-set extension scored no candidate "
+                            f"(n={n}, bound_size={bound_size})"
+                        )
+                bs.append(best_var)
+                remaining.remove(best_var)
+        elif strategy == "random":
+            rng = rng or random.Random(0)
+            bs = rng.sample(levels, bound_size)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
 
     bs_sorted = sorted(bs)
     fs = [lvl for lvl in levels if lvl not in set(bs_sorted)]

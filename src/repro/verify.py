@@ -10,8 +10,12 @@ budget.
 Example::
 
     from repro.verify import check_equivalence
-    result = check_equivalence(before, after)
-    assert result.equivalent, result.counterexample
+    check_equivalence(before, after).expect()   # VerificationError on mismatch
+
+(The old ``assert result.equivalent`` idiom silently stopped checking under
+``python -O``; :meth:`EquivalenceResult.expect` raises a real
+:class:`repro.errors.VerificationError` carrying the failing output and the
+counterexample vector.)
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.bdd.manager import FALSE, TRUE
+from repro.errors import VerificationError
 from repro.network.collapse import CollapseOverflow, collapse
 from repro.network.network import Network
 from repro.network.simulate import input_vectors
@@ -36,6 +41,26 @@ class EquivalenceResult:
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def expect(self, context: str = "networks are not equivalent") -> "EquivalenceResult":
+        """Raise :class:`VerificationError` unless the check passed.
+
+        Returns ``self`` on success so the call chains.  Unlike an
+        ``assert``, this keeps guarding under ``python -O``.
+        """
+        if self.equivalent:
+            return self
+        detail = f"{context} ({self.method} check"
+        if self.failing_output is not None:
+            detail += f", output {self.failing_output!r}"
+        if self.counterexample is not None:
+            detail += f", counterexample {self.counterexample!r}"
+        detail += ")"
+        raise VerificationError(
+            detail,
+            failing_output=self.failing_output,
+            counterexample=self.counterexample,
+        )
 
 
 def _check_bdd(a: Network, b: Network, max_nodes: int | None) -> EquivalenceResult:

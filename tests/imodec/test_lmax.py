@@ -81,3 +81,65 @@ class TestLmax:
         z = ZSpace(2)
         result = lmax(z, [FALSE, FALSE])
         assert result.count == 0
+
+
+class TestBalancedComplementEdges:
+    """Regression: the balanced walk on the complement-edge engine.
+
+    The winner sets Lmax hands to ``pick_vertex`` are built with
+    ``apply_not`` / layered DP and routinely arrive as complemented edges;
+    the walk must descend with the polarity-propagating ``low``/``high``
+    accessors or it silently flips branches.  These tests pin the exact
+    behaviour on a p >= 6 z-space.
+    """
+
+    def test_balanced_pinned_on_complemented_winner_set(self):
+        z = ZSpace(6)
+        # winners = NOT(z0 | z2): a complemented edge into the OR structure.
+        winners = z.bdd.apply_not(z.bdd.apply_or(z.bdd.var(0), z.bdd.var(2)))
+        vertex = pick_vertex(z, winners, "balanced")
+        assert z.bdd.eval(winners, vertex)
+        # Pinned: constrained levels 0 and 2 stay off, the free levels are
+        # filled greedily toward p // 2 = 3 ones.
+        assert vertex == {0: False, 1: True, 2: False, 3: True, 4: True, 5: False}
+        assert sum(vertex.values()) == z.p // 2
+
+    def test_balanced_differs_from_first_on_free_levels(self):
+        z = ZSpace(6)
+        winners = z.bdd.apply_not(z.bdd.apply_or(z.bdd.var(0), z.bdd.var(2)))
+        first = pick_vertex(z, winners, "first")
+        balanced = pick_vertex(z, winners, "balanced")
+        assert z.bdd.eval(winners, first)
+        # "first" completes sat_one with zeros; "balanced" spends its free
+        # levels approaching half ones -- the strategies must stay distinct.
+        assert sum(first.values()) == 0
+        assert sum(balanced.values()) == 3
+
+    def test_balanced_always_inside_random_complemented_sets(self):
+        import random
+
+        rng = random.Random(1995)
+        z = ZSpace(7)
+        for _ in range(50):
+            acc = z.bdd.var(rng.randrange(z.p))
+            for _ in range(4):
+                lit = z.bdd.var(rng.randrange(z.p))
+                op = rng.choice(["and", "or", "xor"])
+                if rng.random() < 0.5:
+                    lit = z.bdd.apply_not(lit)
+                acc = getattr(z.bdd, f"apply_{op}")(acc, lit)
+            if rng.random() < 0.5:
+                acc = z.bdd.apply_not(acc)
+            if acc == FALSE:
+                continue
+            vertex = pick_vertex(z, acc, "balanced")
+            assert set(vertex) == set(z.levels)
+            assert z.bdd.eval(acc, vertex)
+
+    def test_corrupt_winner_set_raises_decomposition_error(self):
+        from repro.errors import DecompositionError
+
+        z = ZSpace(2)
+        foreign = z.bdd.add_var("w")  # level outside the z-space walk
+        with pytest.raises(DecompositionError):
+            pick_vertex(z, foreign, "balanced")

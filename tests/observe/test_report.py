@@ -1,0 +1,147 @@
+"""Unit tests for run-report building, validation, and rendering."""
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.observe import (
+    ReportSchemaError,
+    SCHEMA_ID,
+    Tracer,
+    build_report,
+    flatten_phases,
+    format_tree,
+    validate_report,
+)
+from repro.observe.report import main as report_main
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    with observe.tracing(tracer):
+        with observe.span("synthesize"):
+            with observe.span("collapse"):
+                observe.add("nodes_built", 42)
+            with observe.span("map"):
+                for _ in range(3):
+                    with observe.span("imodec"):
+                        observe.add("iterations", 2)
+        with observe.span("verify"):
+            pass
+    return tracer
+
+
+class TestBuildReport:
+    def test_round_trip_validates(self):
+        report = build_report(make_tracer(), meta={"circuit": "rd53", "k": 4})
+        assert validate_report(report) is report
+        # and survives JSON serialization unchanged
+        reparsed = json.loads(json.dumps(report))
+        assert validate_report(reparsed) == report
+
+    def test_schema_and_totals(self):
+        report = build_report(make_tracer())
+        assert report["schema"] == SCHEMA_ID
+        top_names = [s["name"] for s in report["spans"]]
+        assert top_names == ["synthesize", "verify"]
+        assert report["total_seconds"] == pytest.approx(
+            sum(s["seconds"] for s in report["spans"])
+        )
+
+    def test_aggregated_span_carries_calls_and_counters(self):
+        report = build_report(make_tracer())
+        synth = report["spans"][0]
+        imodec = synth["children"][1]["children"][0]
+        assert imodec["name"] == "imodec"
+        assert imodec["calls"] == 3
+        assert imodec["counters"]["iterations"] == 6
+
+
+class TestValidateReport:
+    def test_rejects_wrong_schema_id(self):
+        report = build_report(make_tracer())
+        report["schema"] = "something-else/9"
+        with pytest.raises(ReportSchemaError, match=r"\$\.schema"):
+            validate_report(report)
+
+    def test_rejects_missing_keys(self):
+        report = build_report(make_tracer())
+        del report["total_seconds"]
+        with pytest.raises(ReportSchemaError, match="missing keys"):
+            validate_report(report)
+
+    def test_rejects_negative_seconds(self):
+        report = build_report(make_tracer())
+        report["spans"][0]["seconds"] = -1.0
+        with pytest.raises(ReportSchemaError, match="non-negative"):
+            validate_report(report)
+
+    def test_rejects_unknown_span_keys(self):
+        report = build_report(make_tracer())
+        report["spans"][0]["extra"] = 1
+        with pytest.raises(ReportSchemaError, match="unknown keys"):
+            validate_report(report)
+
+    def test_rejects_non_numeric_counter(self):
+        report = build_report(make_tracer())
+        report["spans"][0]["counters"]["bad"] = "fast"
+        with pytest.raises(ReportSchemaError, match="must be a number"):
+            validate_report(report)
+
+    def test_rejects_duplicate_sibling_names(self):
+        report = build_report(make_tracer())
+        synth = report["spans"][0]
+        synth["children"].append(dict(synth["children"][0]))
+        with pytest.raises(ReportSchemaError, match="distinct names"):
+            validate_report(report)
+
+    def test_rejects_non_scalar_meta(self):
+        report = build_report(make_tracer(), meta={"nested": {"no": 1}})
+        with pytest.raises(ReportSchemaError, match=r"\$\.meta"):
+            validate_report(report)
+
+    def test_error_names_the_offending_path(self):
+        report = build_report(make_tracer())
+        report["spans"][0]["children"][0]["calls"] = 0
+        with pytest.raises(ReportSchemaError, match="synthesize/collapse"):
+            validate_report(report)
+
+
+class TestRendering:
+    def test_format_tree_indents_by_depth(self):
+        text = format_tree(make_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("total:")
+        assert any(line.startswith("  synthesize:") for line in lines)
+        assert any(line.startswith("    collapse:") for line in lines)
+        assert "x3" in text  # aggregated imodec span shows its call count
+
+    def test_flatten_phases_uses_slash_paths(self):
+        flat = flatten_phases(build_report(make_tracer()))
+        assert set(flat) == {
+            "synthesize",
+            "synthesize/collapse",
+            "synthesize/map",
+            "synthesize/map/imodec",
+            "verify",
+        }
+        assert all(seconds >= 0 for seconds in flat.values())
+
+
+class TestCliValidator:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(build_report(make_tracer())))
+        assert report_main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert report_main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert report_main([]) == 2
+        assert "usage" in capsys.readouterr().err

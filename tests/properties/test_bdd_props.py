@@ -243,22 +243,11 @@ class TestBoundedCacheEviction:
         assert stats["evictions"] > 0
         assert stats["entries"] <= 32
 
-    def test_maybe_clear_caches_is_deprecated_noop(self):
-        import warnings
-
+    def test_maybe_clear_caches_is_gone(self):
+        # The deprecated no-op shim was removed outright; cache pressure is
+        # managed via the cache_limit constructor argument + cache_stats().
         bdd = BDD()
-        bdd.add_vars(2)
-        bdd.apply_and(bdd.var(0), bdd.var(1))
-        before = bdd.cache_size()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            try:
-                bdd.maybe_clear_caches()
-            except DeprecationWarning:
-                pass
-            else:  # pragma: no cover
-                raise AssertionError("expected DeprecationWarning")
-        assert bdd.cache_size() == before
+        assert not hasattr(bdd, "maybe_clear_caches")
 
 
 class TestSatcount:

@@ -1,9 +1,12 @@
 """Unit tests for the command-line driver."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import load_network, main
 from repro.io.blif import parse_blif
+from repro.observe import validate_report
 
 PLA = """\
 .i 6
@@ -96,10 +99,88 @@ class TestStrictFlag:
 class TestErrorHandling:
     def test_missing_file(self, capsys):
         assert main(["info", "/nonexistent/file.pla"]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1  # one-line error, no traceback
 
     def test_malformed_input(self, tmp_path, capsys):
         bad = tmp_path / "bad.pla"
         bad.write_text(".i 2\n.o 1\n.unknown\n11 1\n.e\n")
         assert main(["info", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_unrecognizable_format_exits_2(self, tmp_path, capsys):
+        mystery = tmp_path / "mystery.txt"
+        mystery.write_text("hello world\n")
+        assert main(["info", str(mystery)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot determine input format" in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestFormatDispatch:
+    def test_blif_suffix_beats_content_sniffing(self, tmp_path):
+        # Regression: a .blif file whose first directive is .inputs used to
+        # be mis-sniffed as PLA (both formats start with ".i").
+        path = tmp_path / "noheader.blif"
+        path.write_text(
+            ".inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        )
+        net = load_network(path)
+        assert set(net.inputs) == {"a", "b"}
+        assert net.outputs == ["y"]
+
+    def test_unknown_suffix_sniffs_pla(self, tmp_path):
+        path = tmp_path / "design.txt"
+        path.write_text(PLA)
+        net = load_network(path)
+        assert len(net.inputs) == 6
+
+    def test_unknown_suffix_sniffs_blif(self, tmp_path):
+        path = tmp_path / "design.in"
+        path.write_text(BLIF)
+        net = load_network(path)
+        assert net.name == "tiny"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="cannot determine input format"):
+            load_network(path)
+
+
+class TestObservability:
+    def test_report_is_schema_valid(self, pla_file, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        rc = main(["synth", str(pla_file), "--report", str(report_path)])
+        assert rc == 0
+        payload = validate_report(json.loads(report_path.read_text()))
+        assert payload["meta"]["verified"] is True
+        assert payload["meta"]["luts"] >= 1
+        top = {s["name"] for s in payload["spans"]}
+        assert top == {"synthesize", "verify"}
+        assert 0 < payload["total_seconds"] <= payload["meta"]["wall_clock_seconds"] * 1.5
+
+    def test_trace_prints_span_tree(self, pla_file, capsys):
+        assert main(["synth", str(pla_file), "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "synthesize:" in err and "collapse:" in err
+
+    def test_tracing_does_not_change_the_mapping(self, pla_file, tmp_path, capsys):
+        plain_out = tmp_path / "plain.blif"
+        traced_out = tmp_path / "traced.blif"
+        assert main(["synth", str(pla_file), "-o", str(plain_out)]) == 0
+        assert main(["synth", str(pla_file), "--trace", "-o", str(traced_out)]) == 0
+        assert plain_out.read_text() == traced_out.read_text()
+
+    def test_node_budget_exceeded_exits_3(self, pla_file, capsys):
+        rc = main(["synth", str(pla_file), "--budget-nodes", "5"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "nodes budget" in err
+
+    def test_generous_budget_passes(self, pla_file, capsys):
+        rc = main(["synth", str(pla_file), "--budget-seconds", "3600",
+                   "--budget-nodes", "10000000"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
