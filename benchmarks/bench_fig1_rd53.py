@@ -65,8 +65,8 @@ def test_fig1_rd53(benchmark, mode):
         luts=result.num_luts,
         max_m=result.max_group_outputs,
         max_p=result.max_globals,
-        bdd_nodes=stats.get("nodes"),
-        cache_hit_rate=round(stats.get("hit_rate", 0.0), 4),
+        bdd_nodes=stats.nodes,
+        cache_hit_rate=round(stats.hit_rate, 4),
         phases=phases,
     )
 

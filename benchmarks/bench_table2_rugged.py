@@ -118,9 +118,9 @@ def test_table2_rugged_circuit(benchmark, name):
         clb_multi=clb_multi,
         clb_single=clb_single,
         cpu_s=round(cpu, 2),
-        bdd_nodes=stats.get("nodes"),
-        cache_hit_rate=round(stats.get("hit_rate", 0.0), 4),
-        cache_entries=stats.get("entries"),
-        cache_evictions=stats.get("evictions"),
+        bdd_nodes=stats.nodes,
+        cache_hit_rate=round(stats.hit_rate, 4),
+        cache_entries=stats.entries,
+        cache_evictions=stats.evictions,
         phases=phases,
     )

@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.cli synth design.pla --mode multi --k 5 -o mapped.blif
     python -m repro.cli synth design.blif --rugged --structural --stats
+    python -m repro.cli synth design.pla --executor process --jobs 4
     python -m repro.cli synth design.pla --report run.json --trace
+    python -m repro.cli batch a.pla b.pla c.blif --executor process --jobs 4
     python -m repro.cli info design.blif
 
 ``synth`` reads a PLA or BLIF file, optionally pre-structures it with the
@@ -12,11 +14,21 @@ rugged-style script, maps it to k-input LUTs with multiple-output (IMODEC)
 or single-output decomposition, verifies the result, reports XC3000 CLB
 counts and optionally writes the mapped netlist as BLIF.
 
+``batch`` maps many circuits in one invocation through one shared work
+queue: with ``--executor process`` the decomposition groups of *all*
+circuits fan out to the worker pool together (see ``docs/ARCHITECTURE.md``).
+Results are identical to per-circuit ``synth`` runs.
+
+``--executor`` picks the engine executor: ``serial`` (default) replays the
+historical recursion order bit-identically; ``process`` maps independent
+output groups in ``--jobs`` worker processes, each on its own BDD manager.
+
 Observability: ``--report FILE`` writes a machine-readable JSON run report
-(per-phase wall-clock, BDD node and cache deltas, IMODEC iteration counts;
-see ``docs/OBSERVABILITY.md``), ``--trace`` prints the span tree to stderr,
-and ``--budget-seconds`` / ``--budget-nodes`` arm soft budgets that abort a
-runaway synthesis with exit code 3 instead of running unbounded.
+(per-phase wall-clock, BDD node and cache deltas, IMODEC iteration counts,
+and the engine's task counters; see ``docs/OBSERVABILITY.md``), ``--trace``
+prints the span tree to stderr, and ``--budget-seconds`` /
+``--budget-nodes`` arm soft budgets that abort a runaway synthesis with
+exit code 3 instead of running unbounded.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from pathlib import Path
 
 from repro import observe
 from repro.algebraic.rugged import rugged
+from repro.engine import synthesize_batch
 from repro.errors import BudgetExceeded
 from repro.io.blif import parse_blif, write_blif
 from repro.io.pla import parse_pla
@@ -86,6 +99,16 @@ def _make_tracer(args: argparse.Namespace) -> Tracer | None:
     return None
 
 
+def _make_config(args: argparse.Namespace) -> FlowConfig:
+    return FlowConfig(
+        k=args.k,
+        mode=args.mode,
+        strict=args.strict,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     path = Path(args.input)
     net = load_network(path)
@@ -97,7 +120,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         rugged(net)
         print(f"rugged: {network_stats(net)}  ({time.perf_counter() - start:.1f}s)")
 
-    config = FlowConfig(k=args.k, mode=args.mode, strict=args.strict, jobs=args.jobs)
+    config = _make_config(args)
     tracer = _make_tracer(args)
 
     def run() -> tuple:
@@ -139,6 +162,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
                     "verified": bool(ok),
                     "wall_clock_seconds": elapsed,
                 },
+                engine=result.engine_stats.as_dict(),
             )
             Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
             print(f"report: {args.report}")
@@ -149,7 +173,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
     packing = pack_xc3000(result.network, k=args.k) if args.k == 5 else None
     print(f"mapped: {result.num_luts} LUT{'s' if result.num_luts != 1 else ''} "
-          f"(k = {args.k}, mode = {args.mode}, {elapsed:.1f}s, verified)")
+          f"(k = {args.k}, mode = {args.mode}, executor = {args.executor}, "
+          f"{elapsed:.1f}s, verified)")
     if packing is not None:
         print(f"packed: {packing.num_clbs} XC3000 CLBs "
               f"({len(packing.pairs)} paired, {len(packing.singles)} single)")
@@ -161,6 +186,102 @@ def cmd_synth(args: argparse.Namespace) -> int:
         Path(args.output).write_text(write_blif(result.network))
         print(f"wrote {args.output}")
     return 0
+
+
+def _merge_engine_stats(results) -> dict:
+    """Sum engine task counters across a batch (flat, report-ready)."""
+    merged: dict[str, int | str] = {}
+    for res in results:
+        for key, value in res.engine_stats.as_dict().items():
+            if isinstance(value, str):
+                merged[key] = value
+            elif key in ("workers", "queue_depth_max"):
+                merged[key] = max(int(merged.get(key, 0)), value)
+            else:
+                merged[key] = int(merged.get(key, 0)) + value
+    return merged
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.inputs]
+    networks = [load_network(p) for p in paths]
+    references = [net.copy() for net in networks]
+    config = _make_config(args)
+    tracer = _make_tracer(args)
+
+    def run() -> tuple:
+        with observe.span("synthesize"):
+            batch = synthesize_batch(networks, config)
+        with observe.span("verify"):
+            good = [verify_flow(ref, res) for ref, res in zip(references, batch)]
+        return batch, good
+
+    start = time.perf_counter()
+    if tracer is not None:
+        with observe.tracing(tracer):
+            results, ok = run()
+    else:
+        results, ok = run()
+    elapsed = time.perf_counter() - start
+
+    failures = 0
+    for net, res, good in zip(networks, results, ok):
+        status = "verified" if good else "NOT EQUIVALENT"
+        failures += 0 if good else 1
+        print(f"{net.name}: {res.num_luts} LUTs ({status})")
+        if args.output_dir:
+            out_dir = Path(args.output_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{net.name}.blif").write_text(write_blif(res.network))
+    print(f"batch:  {len(networks)} circuits, "
+          f"{sum(r.num_luts for r in results)} LUTs total "
+          f"(executor = {args.executor}, jobs = {args.jobs}, {elapsed:.1f}s)")
+
+    if tracer is not None:
+        if args.trace:
+            print(format_tree(tracer), file=sys.stderr)
+        if args.report:
+            report = build_report(
+                tracer,
+                meta={
+                    "circuits": ",".join(net.name for net in networks),
+                    "k": args.k,
+                    "mode": args.mode,
+                    "jobs": args.jobs,
+                    "luts": sum(r.num_luts for r in results),
+                    "verified": failures == 0,
+                    "wall_clock_seconds": elapsed,
+                },
+                engine=_merge_engine_stats(results),
+            )
+            Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+            print(f"report: {args.report}")
+
+    if failures:
+        print(f"ERROR: {failures} mapped network(s) NOT equivalent", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--mode", choices=["multi", "single"], default="multi",
+                     help="multi = IMODEC sharing, single = classical baseline")
+    cmd.add_argument("--k", type=int, default=5, help="LUT input count (default 5)")
+    cmd.add_argument("--executor", choices=["serial", "process"], default="serial",
+                     help="engine executor: serial replays the recursion order, "
+                          "process fans groups out to worker processes")
+    cmd.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (engine workers, bound-set scoring)")
+    cmd.add_argument("--strict", action="store_true",
+                     help="strict (one-code-per-class) decomposition baseline")
+    cmd.add_argument("--report", metavar="FILE",
+                     help="write a JSON run report (see docs/OBSERVABILITY.md)")
+    cmd.add_argument("--trace", action="store_true",
+                     help="print the traced span tree to stderr")
+    cmd.add_argument("--budget-seconds", type=float, metavar="S",
+                     help="soft wall-clock budget of the synthesis phase")
+    cmd.add_argument("--budget-nodes", type=int, metavar="N",
+                     help="soft budget on BDD nodes allocated during synthesis")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,29 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     synth = sub.add_parser("synth", help="map a circuit to k-input LUTs")
     synth.add_argument("input", help="PLA or BLIF file")
-    synth.add_argument("--mode", choices=["multi", "single"], default="multi",
-                       help="multi = IMODEC sharing, single = classical baseline")
-    synth.add_argument("--k", type=int, default=5, help="LUT input count (default 5)")
-    synth.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for bound-set scoring (default 1)")
-    synth.add_argument("--strict", action="store_true",
-                       help="strict (one-code-per-class) decomposition baseline")
+    _add_flow_options(synth)
     synth.add_argument("--rugged", action="store_true",
                        help="pre-structure with the rugged-style script first")
     synth.add_argument("--structural", action="store_true",
                        help="partial-collapse flow (for circuits too large to collapse)")
     synth.add_argument("--stats", action="store_true",
                        help="print decomposition statistics (m, p)")
-    synth.add_argument("--report", metavar="FILE",
-                       help="write a JSON run report (see docs/OBSERVABILITY.md)")
-    synth.add_argument("--trace", action="store_true",
-                       help="print the traced span tree to stderr")
-    synth.add_argument("--budget-seconds", type=float, metavar="S",
-                       help="soft wall-clock budget of the synthesis phase")
-    synth.add_argument("--budget-nodes", type=int, metavar="N",
-                       help="soft budget on BDD nodes allocated during synthesis")
     synth.add_argument("-o", "--output", help="write the mapped netlist as BLIF")
     synth.set_defaults(func=cmd_synth)
+
+    batch = sub.add_parser(
+        "batch", help="map many circuits through one shared work queue"
+    )
+    batch.add_argument("inputs", nargs="+", help="PLA or BLIF files")
+    _add_flow_options(batch)
+    batch.add_argument("-o", "--output-dir", metavar="DIR",
+                       help="write each mapped netlist as DIR/<name>.blif")
+    batch.set_defaults(func=cmd_batch)
     return parser
 
 

@@ -1,0 +1,63 @@
+"""The task-graph synthesis engine.
+
+The decomposition flow of the paper (Section 7) is a DAG of subproblems:
+output groups decompose independently, every decomposition spawns
+d-function and g-function subproblems, and non-decomposable functions
+Shannon-split into cofactor subproblems.  This package makes that DAG
+explicit:
+
+- :mod:`repro.engine.tasks` -- first-class tasks (``decompose-vector``,
+  ``emit-lut``, ``shannon-split``, ``compose``) with declared dependencies,
+  collected in a :class:`TaskGraph` with queue-depth accounting.
+- :mod:`repro.engine.policies` -- the decomposition heuristics (scorer
+  race, bound-size ladder, lone-output peel) behind the typed
+  :class:`DecomposePolicy` interface, swappable via ``FlowConfig``.
+- :mod:`repro.engine.emitter` -- expands a vector task into its child
+  tasks against a mutable emission context (the LUT network under
+  construction).
+- :mod:`repro.engine.executors` -- pluggable drains: ``serial`` replays
+  the historical recursion order bit-identically; ``process`` fans
+  independent vector tasks out to worker processes, each on its own BDD
+  manager, and re-imports the mapped sub-networks.
+- :mod:`repro.engine.batch` -- many networks through one shared queue.
+
+See ``docs/ARCHITECTURE.md`` for the layering and the dataflow diagram.
+"""
+
+from repro.engine.tasks import EngineStats, Task, TaskGraph, TaskKind
+from repro.engine.policies import (
+    DecomposePolicy,
+    LadderPeelPolicy,
+    PolicyDecision,
+    make_policy,
+)
+from repro.engine.emitter import EmitContext, VectorEmitter
+from repro.engine.batch import synthesize_batch
+from repro.engine.executors import (
+    EXECUTORS,
+    Engine,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "DecomposePolicy",
+    "EmitContext",
+    "Engine",
+    "EngineStats",
+    "Executor",
+    "LadderPeelPolicy",
+    "PolicyDecision",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "VectorEmitter",
+    "make_executor",
+    "make_policy",
+    "synthesize_batch",
+]

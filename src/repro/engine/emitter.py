@@ -1,0 +1,357 @@
+"""Task expansion: from decomposition decisions to engine tasks.
+
+:class:`EmitContext` is the mutable emission state of one synthesis run
+(the LUT network under construction, the level-to-signal binding, constant
+sharing, group records) -- the engine-layer successor of the historical
+``mapping.flow._FlowState``.
+
+:class:`VectorEmitter` turns one pending function vector into a task tree:
+the ``decompose-vector`` task consults the :class:`DecomposePolicy` and
+expands into ``emit-lut`` leaves, peeled singleton vectors, d-function and
+g-vector subtasks, ``shannon-split`` fallbacks and a trailing ``compose``
+join.  Child order is the exact depth-first order of the historical
+recursion, so the serial executor reproduces the pre-engine flow
+bit-identically (LUT names included); see ``docs/ARCHITECTURE.md`` for the
+argument.
+
+Signal delivery uses *sink cells*: every task writes the signals it
+produces into ``sink[positions[i]]`` of a caller-owned list, which is how
+results flow up the graph without return values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import observe
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.boolfunc.sop import Sop
+from repro.boolfunc.truthtable import TruthTable
+from repro.engine.policies import DecomposePolicy
+from repro.engine.tasks import Task, TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
+    from repro.mapping.flow import FlowConfig, GroupRecord
+
+
+class EmitContext:
+    """Mutable state threaded through one synthesis run.
+
+    ``signal_of_level`` maps BDD levels to signal names in the target LUT
+    network; the collapsed flow seeds it with the primary inputs, the
+    structural flow with whatever signals feed the cluster being mapped.
+    """
+
+    def __init__(
+        self,
+        bdd: BDD,
+        config: "FlowConfig",
+        lut,
+        signal_of_level: dict[int, str],
+        records: list["GroupRecord"] | None = None,
+        constants: dict[bool, str] | None = None,
+    ) -> None:
+        self.bdd = bdd
+        self.config = config
+        self.lut = lut
+        self.signal_of_level = signal_of_level
+        self.records: list["GroupRecord"] = records if records is not None else []
+        self.constants: dict[bool, str] = constants if constants is not None else {}
+
+    # ------------------------------------------------------------------
+
+    def constant_signal(self, value: bool) -> str:
+        sig = self.constants.get(value)
+        if sig is None:
+            sig = self.lut.fresh_name("const")
+            self.lut.add_constant(sig, value)
+            self.constants[value] = sig
+        return sig
+
+    def emit_lut(self, f: int, cache: dict[int, str]) -> str:
+        """Emit a function with support <= k as one LUT node (or an alias)."""
+        bdd = self.bdd
+        if f == TRUE:
+            return self.constant_signal(True)
+        if f == FALSE:
+            return self.constant_signal(False)
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        support = sorted(bdd.support(f))
+        if len(support) == 1 and f == bdd.var(support[0]):
+            sig = self.signal_of_level[support[0]]
+            cache[f] = sig
+            return sig
+        fanins = [self.signal_of_level[lvl] for lvl in support]
+        bits = bdd.to_truth_bits(f, support)
+        table = TruthTable(len(support), bits)
+        name = self.lut.fresh_name("L")
+        self.lut.add_node(name, fanins, Sop.from_truthtable(table))
+        cache[f] = name
+        observe.add("luts_emitted")
+        return name
+
+
+class VectorEmitter:
+    """Expands pending vectors into engine tasks against an EmitContext."""
+
+    def __init__(
+        self, context: EmitContext, policy: DecomposePolicy, graph: TaskGraph
+    ) -> None:
+        self.context = context
+        self.policy = policy
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # task constructors
+    # ------------------------------------------------------------------
+
+    def vector_task(
+        self,
+        f_nodes: list[int],
+        cache: dict[int, str],
+        sink: list,
+        positions: list[int],
+        label: str = "",
+    ) -> Task:
+        """The ``decompose-vector`` task mapping ``f_nodes`` to signals.
+
+        Writes ``sink[positions[i]]`` for every ``i``; expansion happens
+        when the executor runs the task.
+        """
+
+        def run() -> list[Task]:
+            return self._expand_vector(f_nodes, cache, sink, positions)
+
+        return self.graph.new_task("decompose-vector", run, label=label)
+
+    def _lut_task(
+        self,
+        f: int,
+        cache: dict[int, str],
+        sink: list,
+        position: int,
+        label: str = "",
+    ) -> Task:
+        def run() -> list[Task]:
+            sink[position] = self.context.emit_lut(f, cache)
+            return []
+
+        return self.graph.new_task("emit-lut", run, label=label)
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+
+    def _expand_vector(
+        self,
+        f_nodes: list[int],
+        cache: dict[int, str],
+        sink: list,
+        positions: list[int],
+    ) -> list[Task]:
+        observe.checkpoint()  # budget enforcement point per vector step
+        ctx = self.context
+        config = ctx.config
+        bdd = ctx.bdd
+        children: list[Task] = []
+        pending: list[int] = []
+        for i, f in enumerate(f_nodes):
+            if len(bdd.support(f)) <= config.k:
+                children.append(
+                    self._lut_task(f, cache, sink, positions[i], label=f"o{i}")
+                )
+            else:
+                pending.append(i)
+        if not pending:
+            return children
+
+        if config.mode == "single" and len(pending) > 1:
+            # Classical baseline: every output in isolation.
+            for i in pending:
+                children.append(
+                    self.vector_task(
+                        [f_nodes[i]], cache, sink, [positions[i]], label=f"s{i}"
+                    )
+                )
+            return children
+
+        vector = [f_nodes[i] for i in pending]
+        decision = self.policy.decompose(bdd, vector)
+
+        # Peeled outputs re-emit individually, in peel order (they precede
+        # the record and the shared-pool emission, as in the recursion).
+        for p in decision.peeled:
+            children.append(
+                self.vector_task(
+                    [vector[p]], cache, sink, [positions[pending[p]]], label=f"p{p}"
+                )
+            )
+
+        result = decision.result
+        if result is None:  # everything peeled away
+            return children
+
+        kept_positions = [positions[pending[p]] for p in decision.kept]
+        record_task = self.graph.new_task(
+            "compose",
+            lambda: self._record_group(decision),
+            deps=tuple(t.id for t in children),
+            label="record",
+        )
+        children.append(record_task)
+
+        progressing = decision.progressing
+        stuck = [j for j in range(len(decision.kept)) if j not in progressing]
+
+        if progressing:
+            # Emit the shared decomposition functions used by progressing
+            # outputs (recursively if the bound set exceeds k), then bind
+            # each code level to its signal.
+            used_pool = sorted(
+                {idx for j in progressing for idx in result.assignments[j]}
+            )
+            for idx in used_pool:
+                children.extend(self._pool_tasks(idx, decision, cache))
+            g_vector = [result.g_nodes[j] for j in progressing]
+            g_positions = [kept_positions[j] for j in progressing]
+            children.append(
+                self.vector_task(
+                    g_vector,
+                    cache,
+                    sink,
+                    g_positions,
+                    label="g",
+                )
+            )
+
+        for j in stuck:
+            children.append(
+                self._shannon_task(
+                    vector[decision.kept[j]], cache, sink, kept_positions[j]
+                )
+            )
+
+        children.append(
+            self.graph.new_task(
+                "compose",
+                lambda: self._join_vector(sink, positions),
+                deps=tuple(t.id for t in children),
+                label="join",
+            )
+        )
+        return children
+
+    def _record_group(self, decision) -> list[Task]:
+        """Book-keep one multiple-output decomposition step."""
+        from repro.mapping.flow import GroupRecord
+
+        result = decision.result
+        self.context.records.append(
+            GroupRecord(
+                outputs=len(decision.kept),
+                num_globals=result.num_global_classes,
+                num_functions=result.num_functions,
+                num_functions_unshared=result.num_functions_unshared,
+            )
+        )
+        observe.add("groups_decomposed")
+        observe.add(
+            "functions_shared_away",
+            result.num_functions_unshared - result.num_functions,
+        )
+        observe.gauge("max_group_outputs", len(decision.kept))
+        observe.gauge("max_global_classes", result.num_global_classes)
+        return []
+
+    def _pool_tasks(
+        self, idx: int, decision, cache: dict[int, str]
+    ) -> list[Task]:
+        """Emit pool function ``idx`` and bind its code levels.
+
+        Small d-functions emit directly (the bind rides on the emit-lut
+        task); wide ones become a vector subtask plus a ``compose`` bind,
+        keeping the binding adjacent to the emission exactly as in the
+        recursion (each d bound right after it is produced).
+        """
+        ctx = self.context
+        result = decision.result
+        d_node = result.d_pool[idx].node
+        cell: list = [None]
+
+        def bind() -> list[Task]:
+            d_sig = cell[0]
+            for j in decision.progressing:
+                for bit, assigned in enumerate(result.assignments[j]):
+                    if assigned == idx:
+                        ctx.signal_of_level[result.code_levels[j][bit]] = d_sig
+            return []
+
+        if len(ctx.bdd.support(d_node)) <= ctx.config.k:
+
+            def run() -> list[Task]:
+                cell[0] = ctx.emit_lut(d_node, cache)
+                bind()
+                return []
+
+            return [self.graph.new_task("emit-lut", run, label=f"d{idx}")]
+
+        inner = self.vector_task([d_node], cache, cell, [0], label=f"d{idx}")
+        join = self.graph.new_task(
+            "compose", bind, deps=(inner.id,), label=f"bind-d{idx}"
+        )
+        return [inner, join]
+
+    def _shannon_task(
+        self, f: int, cache: dict[int, str], sink: list, position: int
+    ) -> Task:
+        """Fallback: f = x ? f1 : f0 with a 3-input mux LUT."""
+        ctx = self.context
+
+        def run() -> list[Task]:
+            bdd = ctx.bdd
+            support = sorted(bdd.support(f))
+
+            # split on the variable minimizing the larger cofactor support
+            def split_cost(lvl: int) -> tuple[int, int]:
+                lo_ = bdd.cofactor(f, lvl, False)
+                hi_ = bdd.cofactor(f, lvl, True)
+                a, b2 = len(bdd.support(lo_)), len(bdd.support(hi_))
+                return (max(a, b2), a + b2)
+
+            lvl = min(support, key=split_cost)
+            lo = bdd.cofactor(f, lvl, False)
+            hi = bdd.cofactor(f, lvl, True)
+            cell: list = [None, None]
+            cof_task = self.vector_task(
+                [lo, hi], cache, cell, [0, 1], label="cofactors"
+            )
+
+            def build_mux() -> list[Task]:
+                sel_sig = ctx.signal_of_level[lvl]
+                observe.add("shannon_splits")
+                name = ctx.lut.fresh_name("M")
+                # mux(s, lo, hi): fanins [sel, lo, hi]
+                ctx.lut.add_node(
+                    name,
+                    [sel_sig, cell[0], cell[1]],
+                    Sop.from_strings(3, ["01-", "1-1"]),  # ~s&lo | s&hi
+                )
+                sink[position] = name
+                return []
+
+            join = self.graph.new_task(
+                "compose", build_mux, deps=(cof_task.id,), label="mux"
+            )
+            return [cof_task, join]
+
+        return self.graph.new_task("shannon-split", run, label="shannon")
+
+    def _join_vector(self, sink: list, positions: list[int]) -> list[Task]:
+        for pos in positions:
+            if sink[pos] is None:
+                raise AssertionError(
+                    f"vector compose ran with unresolved position {pos}"
+                )
+        return []

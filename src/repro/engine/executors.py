@@ -1,0 +1,238 @@
+"""Pluggable executors that drain the task graph, plus the Engine facade.
+
+Two executors ship:
+
+- :class:`SerialExecutor` drains each group's task tree depth-first,
+  children in expansion order -- exactly the call order of the historical
+  recursion, so the mapped network (LUT names included) is bit-identical
+  to the pre-engine flow.
+- :class:`ProcessExecutor` fans independent groups out to a process pool.
+  Each worker maps its group with the serial engine on a **private BDD
+  manager** (:func:`repro.engine.worker.run_group`); the parent submits
+  every group first, then collects and re-imports the mapped sub-networks
+  *sequentially in group order*, renaming worker-local signals through the
+  parent network's ``fresh_name`` counter.  Because each worker replays
+  the serial emission order for its group and groups re-import in the
+  serial group order, the resulting network is again identical to the
+  serial one -- only wall-clock differs.
+
+The :class:`Engine` facade bundles context + policy + graph + executor
+behind the two calls the flows need: ``run_groups`` and ``stats``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Protocol
+
+from repro import observe
+from repro.bdd.manager import BDD
+from repro.bdd.transfer import export_dag
+from repro.boolfunc.sop import Cube, Sop
+from repro.engine.emitter import EmitContext, VectorEmitter
+from repro.engine.policies import make_policy
+from repro.engine.tasks import EngineStats, TaskGraph
+from repro.engine.worker import GroupPayload, GroupResult, run_group
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
+    from repro.mapping.flow import FlowConfig
+
+
+class Executor(Protocol):
+    """Drains group task trees against an :class:`Engine`."""
+
+    name: str
+    workers: int
+
+    def run_groups(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        """Map each group (a list of BDD roots) to its output signals."""
+        ...
+
+
+class SerialExecutor:
+    """Depth-first drain replaying the historical recursion order."""
+
+    name = "serial"
+    workers = 1
+
+    def run_groups(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        return self.drain_groups(engine.emitter, engine.graph, groups)
+
+    def drain_groups(
+        self,
+        emitter: VectorEmitter,
+        graph: TaskGraph,
+        groups: list[list[int]],
+    ) -> list[list[str]]:
+        """Static entry point shared with worker processes (no Engine)."""
+        results: list[list[str]] = []
+        for gi, f_nodes in enumerate(groups):
+            cache: dict[int, str] = {}
+            sink: list = [None] * len(f_nodes)
+            root = emitter.vector_task(
+                f_nodes, cache, sink, list(range(len(f_nodes))),
+                label=f"group{gi}",
+            )
+            self._drain(graph, [root])
+            results.append(list(sink))
+        return results
+
+    @staticmethod
+    def _drain(graph: TaskGraph, roots: list) -> None:
+        # Children are pushed in reverse so they pop in expansion order:
+        # a task's whole subtree completes before its next sibling runs,
+        # which is the depth-first order of the recursion it replaces.
+        stack = list(reversed(roots))
+        while stack:
+            graph.note_queue_depth(len(stack))
+            task = stack.pop()
+            with observe.span(task.kind):
+                children = graph.execute(task)
+            stack.extend(reversed(children))
+
+
+class ProcessExecutor:
+    """Fan independent groups out to worker processes, re-import in order."""
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        self.workers = max(1, jobs)
+
+    def run_groups(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        if len(groups) <= 1:
+            # Nothing to overlap; skip the pickling round-trip.
+            return SerialExecutor().run_groups(engine, groups)
+        with observe.span("engine-dispatch"):
+            futures = self.submit_groups(engine, groups)
+        with observe.span("engine-collect"):
+            return self.collect_groups(engine, futures)
+
+    def submit_groups(self, engine: "Engine", groups: list[list[int]]) -> list:
+        """Queue every group on the shared pool; returns futures in order.
+
+        Split from :meth:`collect_groups` so batch mode can enqueue the
+        groups of *many* networks before collecting any of them.
+        """
+        ctx = engine.context
+        payloads = [self._payload(ctx, f_nodes) for f_nodes in groups]
+        pool = _get_pool(self.workers)
+        return [pool.submit(run_group, p) for p in payloads]
+
+    def collect_groups(self, engine: "Engine", futures: list) -> list[list[str]]:
+        """Re-import worker results sequentially, in submission order."""
+        results: list[list[str]] = []
+        for remaining, future in enumerate(futures):
+            engine.graph.note_queue_depth(len(futures) - remaining)
+            results.append(merge_group_result(engine, future.result()))
+        return results
+
+    @staticmethod
+    def _payload(ctx: EmitContext, f_nodes: list[int]) -> GroupPayload:
+        support = sorted(set().union(*(ctx.bdd.support(f) for f in f_nodes)))
+        return GroupPayload(
+            dag=export_dag(ctx.bdd, f_nodes),
+            level_signals={
+                lvl: ctx.signal_of_level[lvl] for lvl in support
+            },
+            config=ctx.config,
+        )
+
+
+def merge_group_result(engine: "Engine", result: GroupResult) -> list[str]:
+    """Re-import one worker's mapped sub-network into the parent.
+
+    Worker-local node names are renamed through the parent network's
+    ``fresh_name`` counter in emission order, so the final names match a
+    serial run; constants dedup through the shared constant cache.
+    Worker task counts fold into the parent graph as offloaded work.
+    """
+    ctx = engine.context
+    rename: dict[str, str] = {}
+    for spec in result.nodes:
+        if spec.constant is not None:
+            rename[spec.name] = ctx.constant_signal(spec.constant)
+            continue
+        prefix = spec.name.rstrip("0123456789")
+        name = ctx.lut.fresh_name(prefix)
+        fanins = [rename.get(f, f) for f in spec.fanins]
+        cover = Sop(
+            spec.num_vars,
+            [Cube(spec.num_vars, care, value) for care, value in spec.cubes],
+        )
+        ctx.lut.add_node(name, fanins, cover)
+        rename[spec.name] = name
+        observe.add("luts_emitted" if prefix == "L" else "shannon_splits")
+    ctx.records.extend(result.records)
+    engine.graph.merge_counts(result.kind_counts, offloaded=True)
+    return [rename.get(sig, sig) for sig in result.outputs]
+
+
+# Lazily created, process-wide engine pool (fork-cheap workers reused
+# across groups and batch runs; rebuilt only when ``jobs`` changes).
+_POOL: ProcessPoolExecutor | None = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def make_executor(config: "FlowConfig") -> Executor:
+    """Resolve ``FlowConfig.executor`` to an executor instance."""
+    name = getattr(config, "executor", "serial")
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(config.jobs)
+    raise ValueError(
+        f"unknown executor {name!r} (have: {sorted(EXECUTORS)})"
+    )
+
+
+#: Registry of executor names accepted by ``FlowConfig.executor``.
+EXECUTORS = ("serial", "process")
+
+
+class Engine:
+    """Context + policy + graph + executor, bundled for the flows.
+
+    One Engine maps one synthesis run: the collapsed flow creates one per
+    network, the structural flow one per run (batches share it so records
+    and counters accumulate).
+    """
+
+    def __init__(
+        self,
+        bdd: BDD,
+        config: "FlowConfig",
+        lut,
+        signal_of_level: dict[int, str],
+    ) -> None:
+        self.config = config
+        self.context = EmitContext(bdd, config, lut, signal_of_level)
+        self.graph = TaskGraph()
+        self.emitter = VectorEmitter(
+            self.context, make_policy(config), self.graph
+        )
+        self.executor: Executor = make_executor(config)
+
+    def run_groups(self, groups: list[list[int]]) -> list[list[str]]:
+        """Map each group of BDD roots to its emitted output signals."""
+        return self.executor.run_groups(self, groups)
+
+    def stats(self) -> EngineStats:
+        """Report-ready counters for the run's ``engine`` section."""
+        return self.graph.stats(self.executor.name, self.executor.workers)

@@ -1,0 +1,212 @@
+"""Decomposition policies: the flow's heuristics behind a typed interface.
+
+The pre-engine flow buried three entangled heuristics in nested closures of
+``mapping/flow.py``:
+
+- the **scorer race**: try both bound-set scorers (``compact`` and
+  ``shared``) and keep the better decomposition;
+- the **bound-size ladder**: widen the bound set when no output makes
+  progress (the paper uses bound sets up to b = 8 with k = 5, Table 1);
+- the **lone-output peel**: outputs whose decomposition functions are all
+  unshared gain nothing from the joint bound set -- peel them off for
+  individual treatment and re-decompose the rest (a few rounds suffice).
+
+They now live here as the default :class:`LadderPeelPolicy` behind the
+:class:`DecomposePolicy` protocol.  A policy is a *pure planner* with
+respect to the LUT network: it decomposes BDDs (allocating code variables
+as a side effect) but never emits nodes, which is what makes it testable in
+isolation and swappable via ``FlowConfig`` -- the emitter turns its
+:class:`PolicyDecision` into engine tasks.
+
+The historical hard caps are now configuration (``FlowConfig.ladder_cap``,
+``FlowConfig.peel_rounds``) and no longer silent: when either cap truncates
+the search, the policy bumps an observe counter
+(``ladder_cap_truncations`` / ``peel_limit_truncations``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from repro import observe
+from repro.bdd.manager import BDD
+from repro.errors import DecompositionError
+from repro.imodec.decomposer import MultiOutputDecomposition, decompose_multi
+from repro.partitioning.variables import choose_bound_set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports engine)
+    from repro.mapping.flow import FlowConfig
+
+
+@dataclass
+class PolicyDecision:
+    """What a policy decided for one pending vector.
+
+    Positions refer to the vector *as passed in*; ``kept`` maps the final
+    (possibly peeled-down) vector back to those positions.
+
+    Attributes:
+        result: decomposition of the kept sub-vector (None when every
+            output was peeled away).
+        bs: the bound-set levels of ``result``.
+        progressing: indices into ``kept`` whose codewidth beat their
+            bound-set support (the rest fall back to a Shannon split).
+        kept: original positions remaining in the final vector, in order.
+        peeled: original positions peeled off for individual emission,
+            in peel order (round by round, ascending within a round).
+        bound: the ladder's final bound size.
+    """
+
+    result: MultiOutputDecomposition | None
+    bs: list[int] = field(default_factory=list)
+    progressing: list[int] = field(default_factory=list)
+    kept: list[int] = field(default_factory=list)
+    peeled: list[int] = field(default_factory=list)
+    bound: int = 0
+
+
+class DecomposePolicy(Protocol):
+    """Strategy interface: plan the decomposition of one pending vector.
+
+    ``vector`` holds functions whose support exceeds ``k``; the returned
+    decision steers the emitter's task expansion.  Implementations must be
+    deterministic (the executor-equivalence guarantee relies on it).
+    """
+
+    def decompose(self, bdd: BDD, vector: list[int]) -> PolicyDecision:
+        """Plan the decomposition of ``vector`` in ``bdd``."""
+        ...
+
+
+class LadderPeelPolicy:
+    """The paper-faithful default: scorer race + bound ladder + lone peel."""
+
+    def __init__(self, config: "FlowConfig") -> None:
+        self.config = config
+
+    # -- one decomposition attempt -------------------------------------
+
+    def _attempt(
+        self, bdd: BDD, vec: list[int], bound: int
+    ) -> tuple[MultiOutputDecomposition, list[int], list[int]]:
+        """Decompose ``vec`` with a bound set of ``bound``, racing both
+        bound-set scorers (compact and shared) and keeping the better
+        outcome: progress first, then fewer pool functions, then fewer
+        total composition inputs.
+
+        The support union is computed once per attempt (not once per
+        scorer, as the pre-engine flow did), and when both scorers select
+        the same bound set the second -- by determinism, identical --
+        decomposition is skipped entirely (``scorer_race_skips`` counter).
+        """
+        config = self.config
+        union = sorted(set().union(*(bdd.support(f) for f in vec)))
+        bound = min(bound, len(union) - 1)
+        best = None
+        best_key = None
+        tried: set[tuple[int, ...]] = set()
+        scorers = ("compact",) if len(vec) == 1 else ("compact", "shared")
+        for scorer in scorers:
+            bs_, fs_ = choose_bound_set(
+                bdd, vec, union, bound,
+                strategy=config.var_strategy, scorer=scorer, jobs=config.jobs,
+            )
+            if tuple(bs_) in tried:
+                observe.add("scorer_race_skips")
+                continue
+            tried.add(tuple(bs_))
+            res = decompose_multi(
+                bdd, vec, bs_, fs_,
+                tie_break=config.tie_break,
+                dc_fill=config.dc_fill,
+                strict=config.strict,
+            )
+            prog = [
+                j
+                for j, f in enumerate(vec)
+                if res.codewidths[j] < len(bdd.support(f) & set(bs_))
+            ]
+            g_inputs = sum(
+                res.codewidths[j] + len(bdd.support(f) - set(bs_))
+                for j, f in enumerate(vec)
+            )
+            key = (0 if prog else 1, res.num_functions, g_inputs)
+            if best_key is None or key < best_key:
+                best, best_key = (res, bs_, prog), key
+        if best is None:
+            raise DecompositionError(
+                f"no scorer produced a decomposition for a {len(vec)}-output "
+                f"vector with bound size {bound}"
+            )
+        return best
+
+    # -- the full plan --------------------------------------------------
+
+    def decompose(self, bdd: BDD, vector: list[int]) -> PolicyDecision:
+        config = self.config
+        # Bound-size ladder: start at the configured size (default k) and
+        # widen while no output makes progress -- the paper uses bound sets
+        # up to b = 8 with k = 5 (Table 1, alu4), decomposing the
+        # d-functions recursively.  ``ladder_cap`` bounds the widening.
+        base_bound = min(config.bound_size or config.k, config.k)
+        max_bound = max(base_bound, config.bound_size or 0, config.k + 3)
+        ceiling = min(max_bound, config.ladder_cap)
+        bound = base_bound
+        result, bs, progressing = self._attempt(bdd, vector, bound)
+        while not progressing and bound < ceiling:
+            bound += 2
+            result, bs, progressing = self._attempt(bdd, vector, bound)
+        if not progressing and ceiling < max_bound:
+            observe.add("ladder_cap_truncations")
+
+        # Lone-output peel: up to ``peel_rounds`` rounds.
+        kept = list(range(len(vector)))
+        peeled: list[int] = []
+        current = list(vector)
+        for _ in range(config.peel_rounds):
+            if len(current) <= 1:
+                break
+            lone = result.lone_outputs()
+            if not lone:
+                break
+            peeled.extend(kept[j] for j in lone)
+            keep = [j for j in range(len(current)) if j not in set(lone)]
+            kept = [kept[j] for j in keep]
+            current = [current[j] for j in keep]
+            if not current:
+                return PolicyDecision(
+                    result=None, kept=[], peeled=peeled, bound=bound
+                )
+            result, bs, progressing = self._attempt(bdd, current, bound)
+        else:
+            # Rounds exhausted with the limit binding: more lone outputs
+            # would have been peeled next round.
+            if len(current) > 1 and result.lone_outputs():
+                observe.add("peel_limit_truncations")
+
+        return PolicyDecision(
+            result=result,
+            bs=bs,
+            progressing=progressing,
+            kept=kept,
+            peeled=peeled,
+            bound=bound,
+        )
+
+
+def make_policy(config: "FlowConfig") -> DecomposePolicy:
+    """Resolve ``FlowConfig.policy`` to a policy instance."""
+    name = getattr(config, "policy", "ladder-peel")
+    factory = POLICIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown decomposition policy {name!r} (have: {sorted(POLICIES)})"
+        )
+    return factory(config)
+
+
+#: Registry of named policies (``FlowConfig.policy`` values).
+POLICIES = {
+    "ladder-peel": LadderPeelPolicy,
+}

@@ -103,6 +103,19 @@ class MultiOutputDecomposition:
         """Property 1: ceil(ld p) <= q."""
         return lower_bound_q(self.num_global_classes)
 
+    def lone_outputs(self) -> list[int]:
+        """Outputs none of whose decomposition functions are shared.
+
+        These gain nothing from the joint bound set (which may be worse
+        than their own choice); the flow's peel heuristic re-emits them
+        individually (:class:`repro.engine.policies.LadderPeelPolicy`).
+        """
+        return [
+            k
+            for k in range(self.num_outputs)
+            if all(len(self.d_pool[i].users) <= 1 for i in self.assignments[k])
+        ]
+
     def verify(self, bdd: BDD, f_nodes: Sequence[int]) -> bool:
         """Exact check of every output by BDD composition."""
         for k, f in enumerate(f_nodes):

@@ -16,6 +16,13 @@ Two modes reproduce the two columns of Table 2:
 Functions that do not shrink under functional decomposition fall back to a
 Shannon split (a 3-input mux LUT plus the two cofactors), which guarantees
 termination for arbitrary functions.
+
+The decomposition work itself runs on the task-graph engine
+(:mod:`repro.engine`): every step is an explicit task drained by the
+executor named in ``FlowConfig.executor`` -- ``serial`` replays the
+historical recursion order bit-identically, ``process`` fans independent
+output groups out to worker processes.  The heuristics live behind
+``FlowConfig.policy`` (see :mod:`repro.engine.policies`).
 """
 
 from __future__ import annotations
@@ -24,20 +31,19 @@ from dataclasses import dataclass, field
 from typing import Literal
 
 from repro import observe
-from repro.bdd.manager import BDD, FALSE, TRUE
-from repro.boolfunc.sop import Sop
-from repro.boolfunc.truthtable import TruthTable
-from repro.errors import DecompositionError
-from repro.imodec.decomposer import decompose_multi
+from repro.bdd.manager import FALSE, TRUE
+from repro.engine import EXECUTORS, Engine, EngineStats
+from repro.engine.policies import POLICIES
 from repro.imodec.lmax import TieBreak
 from repro.mapping.lut import check_k_feasible
-from repro.network.collapse import CollapsedNetwork, collapse
+from repro.network.collapse import collapse
 from repro.network.network import Network
+from repro.observe.stats import BddStats
 from repro.partitioning.outputs import partition_outputs
-from repro.partitioning.variables import Strategy, choose_bound_set
+from repro.partitioning.variables import Strategy
 
 
-@dataclass
+@dataclass(frozen=True)
 class FlowConfig:
     """Knobs of the synthesis flow."""
 
@@ -52,11 +58,27 @@ class FlowConfig:
     strict: bool = False  # one-code-per-class baseline (refs [10, 11])
     max_group: int | None = None  # the paper's "limit m" valve
     max_globals: int | None = 64  # Property-1 abort threshold
-    jobs: int = 1  # process-pool width for bound-set scoring
+    jobs: int = 1  # process-pool width (engine workers, bound-set scoring)
+    executor: Literal["serial", "process"] = "serial"
+    policy: str = "ladder-peel"  # decomposition heuristic (engine.policies)
+    ladder_cap: int = 12  # hard ceiling of the bound-size ladder
+    peel_rounds: int = 3  # lone-output peel rounds per vector
 
     def __post_init__(self) -> None:
         if self.k < 3:
             raise ValueError("k < 3 cannot host the Shannon fallback mux")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r} (have: {sorted(EXECUTORS)})"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r} (have: {sorted(POLICIES)})"
+            )
+        if self.ladder_cap < self.k:
+            raise ValueError("ladder_cap below k leaves no ladder at all")
+        if self.peel_rounds < 0:
+            raise ValueError("peel_rounds must be >= 0")
 
 
 @dataclass
@@ -77,7 +99,8 @@ class FlowResult:
     output_signals: dict[str, str]
     config: FlowConfig
     records: list[GroupRecord] = field(default_factory=list)
-    bdd_stats: dict = field(default_factory=dict)  # manager cache/node counters
+    bdd_stats: BddStats = field(default_factory=BddStats)
+    engine_stats: EngineStats = field(default_factory=EngineStats)
 
     @property
     def num_luts(self) -> int:
@@ -94,262 +117,54 @@ class FlowResult:
         return max((r.num_globals for r in self.records), default=0)
 
 
-class _FlowState:
-    """Mutable state threaded through one synthesis run.
+@dataclass
+class PreparedRun:
+    """A network collapsed, grouped and ready for the engine.
 
-    ``signal_of_level`` maps BDD levels to signal names in the target LUT
-    network; the collapsed flow seeds it with the primary inputs, the
-    structural flow with whatever signals feed the cluster being mapped.
+    The batch layer (:mod:`repro.engine.batch`) uses this split to enqueue
+    the groups of many networks on one shared queue before collecting any
+    of them; :func:`synthesize` is prepare + run + finish for one network.
     """
 
-    def __init__(
-        self,
-        bdd: BDD,
-        config: FlowConfig,
-        lut: Network,
-        signal_of_level: dict[int, str],
-        records: list[GroupRecord] | None = None,
-        constants: dict[bool, str] | None = None,
-    ) -> None:
-        self.bdd = bdd
-        self.config = config
-        self.lut = lut
-        self.signal_of_level = signal_of_level
-        self.records: list[GroupRecord] = records if records is not None else []
-        self.constants: dict[bool, str] = constants if constants is not None else {}
+    network: Network
+    config: FlowConfig
+    engine: Engine
+    out_names: list[str]
+    groups: list[list[int]]  # output indices per engine group
+    group_nodes: list[list[int]]  # BDD roots per engine group
 
-    @classmethod
-    def from_collapsed(cls, collapsed: CollapsedNetwork, config: FlowConfig) -> "_FlowState":
-        lut = Network("mapped")
-        signal_of_level: dict[int, str] = {}
-        for name, level in collapsed.input_levels.items():
-            lut.add_input(name)
-            signal_of_level[level] = name
-        return cls(collapsed.bdd, config, lut, signal_of_level)
-
-    # ------------------------------------------------------------------
-
-    def constant_signal(self, value: bool) -> str:
-        sig = self.constants.get(value)
-        if sig is None:
-            sig = self.lut.fresh_name("const")
-            self.lut.add_constant(sig, value)
-            self.constants[value] = sig
-        return sig
-
-    def emit_lut(self, f: int, cache: dict[int, str]) -> str:
-        """Emit a function with support <= k as one LUT node (or an alias)."""
-        bdd = self.bdd
-        if f == TRUE:
-            return self.constant_signal(True)
-        if f == FALSE:
-            return self.constant_signal(False)
-        cached = cache.get(f)
-        if cached is not None:
-            return cached
-        support = sorted(bdd.support(f))
-        if len(support) == 1 and f == bdd.var(support[0]):
-            sig = self.signal_of_level[support[0]]
-            cache[f] = sig
-            return sig
-        fanins = [self.signal_of_level[lvl] for lvl in support]
-        bits = bdd.to_truth_bits(f, support)
-        table = TruthTable(len(support), bits)
-        name = self.lut.fresh_name("L")
-        self.lut.add_node(name, fanins, Sop.from_truthtable(table))
-        cache[f] = name
-        observe.add("luts_emitted")
-        return name
-
-    # ------------------------------------------------------------------
-
-    def emit_vector(self, f_nodes: list[int], cache: dict[int, str]) -> list[str]:
-        """Map a vector of functions to signals, recursively."""
-        observe.checkpoint()  # budget enforcement point per recursion step
-        config = self.config
-        bdd = self.bdd
-        signals: list[str | None] = [None] * len(f_nodes)
-        pending: list[int] = []
-        for i, f in enumerate(f_nodes):
-            if len(bdd.support(f)) <= config.k:
-                signals[i] = self.emit_lut(f, cache)
-            else:
-                pending.append(i)
-        if not pending:
-            return signals  # type: ignore[return-value]
-
-        if config.mode == "single" and len(pending) > 1:
-            for i in pending:
-                (signals[i],) = self.emit_vector([f_nodes[i]], cache)
-            return signals  # type: ignore[return-value]
-
-        vector = [f_nodes[i] for i in pending]
-
-        def attempt_with(vec: list[int], bound: int, scorer: str):
-            union = sorted(set().union(*(bdd.support(f) for f in vec)))
-            bound = min(bound, len(union) - 1)
-            bs_, fs_ = choose_bound_set(
-                bdd, vec, union, bound,
-                strategy=config.var_strategy, scorer=scorer, jobs=config.jobs,
-            )
-            res = decompose_multi(
-                bdd, vec, bs_, fs_,
-                tie_break=config.tie_break,
-                dc_fill=config.dc_fill,
-                strict=config.strict,
-            )
-            prog = [
-                j
-                for j, f in enumerate(vec)
-                if res.codewidths[j] < len(bdd.support(f) & set(bs_))
-            ]
-            return res, bs_, prog
-
-        def attempt(vec: list[int], bound: int):
-            """Decompose ``vec`` with a bound set of ``bound``, trying both
-            bound-set scorers (compact and shared) and keeping the better
-            outcome: progress first, then fewer pool functions, then fewer
-            total composition inputs."""
-            best = None
-            best_key = None
-            scorers = ("compact",) if len(vec) == 1 else ("compact", "shared")
-            for scorer in scorers:
-                res, bs_, prog = attempt_with(vec, bound, scorer)
-                g_inputs = sum(
-                    res.codewidths[j] + len(bdd.support(f) - set(bs_))
-                    for j, f in enumerate(vec)
-                )
-                key = (0 if prog else 1, res.num_functions, g_inputs)
-                if best_key is None or key < best_key:
-                    best, best_key = (res, bs_, prog), key
-            if best is None:
-                raise DecompositionError(
-                    f"no scorer produced a decomposition for a {len(vec)}-output "
-                    f"vector with bound size {bound}"
-                )
-            return best
-
-        # Bound-size ladder: start at the configured size (default k) and
-        # widen when no output makes progress -- the paper uses bound sets up
-        # to b = 8 with k = 5 (Table 1, alu4), decomposing the d-functions
-        # recursively.
-        base_bound = min(config.bound_size or config.k, config.k)
-        max_bound = max(base_bound, config.bound_size or 0, config.k + 3)
-        result, bs, progressing = attempt(vector, base_bound)
-        bound = base_bound
-        while not progressing and bound < min(max_bound, 12):
-            bound += 2
-            result, bs, progressing = attempt(vector, bound)
-
-        # Outputs none of whose decomposition functions are shared gain
-        # nothing from the joint bound set (which may be worse than their own
-        # choice): peel them off and re-emit them individually, then
-        # re-decompose the rest.  A few rounds suffice.
-        for _ in range(3):
-            if len(vector) <= 1:
-                break
-            lone = [
-                j
-                for j in range(len(vector))
-                if all(
-                    len(result.d_pool[i].users) <= 1 for i in result.assignments[j]
-                )
-            ]
-            if not lone:
-                break
-            for j in lone:
-                (signals[pending[j]],) = self.emit_vector(
-                    [f_nodes[pending[j]]], cache
-                )
-            keep = [j for j in range(len(vector)) if j not in set(lone)]
-            if not keep:
-                return signals  # type: ignore[return-value]
-            pending = [pending[j] for j in keep]
-            vector = [vector[j] for j in keep]
-            result, bs, progressing = attempt(vector, bound)
-        self.records.append(
-            GroupRecord(
-                outputs=len(vector),
-                num_globals=result.num_global_classes,
-                num_functions=result.num_functions,
-                num_functions_unshared=result.num_functions_unshared,
-            )
+    def finish(self, group_signals: list[list[str]]) -> FlowResult:
+        """Bind output signals and package the :class:`FlowResult`."""
+        output_signals: dict[str, str] = {}
+        for group, signals in zip(self.groups, group_signals):
+            for i, sig in zip(group, signals):
+                output_signals[self.out_names[i]] = sig
+        lut = self.engine.context.lut
+        lut.set_outputs(sorted(set(output_signals.values())))
+        check_k_feasible(lut, self.config.k)
+        return FlowResult(
+            network=lut,
+            output_signals=output_signals,
+            config=self.config,
+            records=self.engine.context.records,
+            bdd_stats=BddStats.from_manager(self.engine.context.bdd),
+            engine_stats=self.engine.stats(),
         )
-        observe.add("groups_decomposed")
-        observe.add(
-            "functions_shared_away",
-            result.num_functions_unshared - result.num_functions,
-        )
-        observe.gauge("max_group_outputs", len(vector))
-        observe.gauge("max_global_classes", result.num_global_classes)
-
-        stuck = [j for j in range(len(pending)) if j not in progressing]
-
-        if progressing:
-            # Emit the shared decomposition functions used by progressing
-            # outputs (recursively if the bound set exceeds k), then bind
-            # each code level to its signal.
-            used_pool = sorted(
-                {
-                    idx
-                    for j in progressing
-                    for idx in result.assignments[j]
-                }
-            )
-            for idx in used_pool:
-                d_node = result.d_pool[idx].node
-                if len(bdd.support(d_node)) <= config.k:
-                    d_sig = self.emit_lut(d_node, cache)
-                else:
-                    (d_sig,) = self.emit_vector([d_node], cache)
-                for j in progressing:
-                    for bit, assigned in enumerate(result.assignments[j]):
-                        if assigned == idx:
-                            self.signal_of_level[result.code_levels[j][bit]] = d_sig
-            g_vector = [result.g_nodes[j] for j in progressing]
-            g_signals = self.emit_vector(g_vector, cache)
-            for j, sig in zip(progressing, g_signals):
-                signals[pending[j]] = sig
-
-        for j in stuck:
-            signals[pending[j]] = self.shannon_emit(f_nodes[pending[j]], cache)
-        return signals  # type: ignore[return-value]
-
-    def shannon_emit(self, f: int, cache: dict[int, str]) -> str:
-        """Fallback: f = x ? f1 : f0 with a 3-input mux LUT."""
-        bdd = self.bdd
-        support = sorted(bdd.support(f))
-        # split on the variable minimizing the larger cofactor support
-        def split_cost(lvl: int) -> tuple[int, int]:
-            lo = bdd.cofactor(f, lvl, False)
-            hi = bdd.cofactor(f, lvl, True)
-            a, b2 = len(bdd.support(lo)), len(bdd.support(hi))
-            return (max(a, b2), a + b2)
-
-        lvl = min(support, key=split_cost)
-        lo = bdd.cofactor(f, lvl, False)
-        hi = bdd.cofactor(f, lvl, True)
-        lo_sig, hi_sig = self.emit_vector([lo, hi], cache)
-        sel_sig = self.signal_of_level[lvl]
-        observe.add("shannon_splits")
-        name = self.lut.fresh_name("M")
-        # mux(s, lo, hi): fanins [sel, lo, hi]
-        self.lut.add_node(
-            name,
-            [sel_sig, lo_sig, hi_sig],
-            Sop.from_strings(3, ["01-", "1-1"]),  # ~s&lo | s&hi
-        )
-        return name
 
 
-def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult:
-    """Run the full flow on a combinational network."""
-    config = config or FlowConfig()
+def prepare_synthesis(network: Network, config: FlowConfig) -> PreparedRun:
+    """Collapse a network and partition its outputs into engine groups."""
     with observe.span("collapse"):
         collapsed = collapse(network)
         observe.watch(collapsed.bdd)
-    state = _FlowState.from_collapsed(collapsed, config)
     bdd = collapsed.bdd
+
+    lut = Network("mapped")
+    signal_of_level: dict[int, str] = {}
+    for name, level in collapsed.input_levels.items():
+        lut.add_input(name)
+        signal_of_level[level] = name
+    engine = Engine(bdd, config, lut, signal_of_level)
 
     out_names = list(network.outputs)
     out_nodes = [collapsed.output_nodes[name] for name in out_names]
@@ -383,24 +198,24 @@ def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult
     else:
         groups = [[i] for i in range(len(out_nodes))]
 
-    output_signals: dict[str, str] = {}
-    with observe.span("map"):
-        observe.add("groups", len(groups))
-        for group in groups:
-            cache: dict[int, str] = {}
-            signals = state.emit_vector([out_nodes[i] for i in group], cache)
-            for i, sig in zip(group, signals):
-                output_signals[out_names[i]] = sig
-
-        state.lut.set_outputs(sorted(set(output_signals.values())))
-        check_k_feasible(state.lut, config.k)
-    return FlowResult(
-        network=state.lut,
-        output_signals=output_signals,
+    return PreparedRun(
+        network=network,
         config=config,
-        records=state.records,
-        bdd_stats=bdd.cache_stats(),
+        engine=engine,
+        out_names=out_names,
+        groups=groups,
+        group_nodes=[[out_nodes[i] for i in group] for group in groups],
     )
+
+
+def synthesize(network: Network, config: FlowConfig | None = None) -> FlowResult:
+    """Run the full flow on a combinational network."""
+    config = config or FlowConfig()
+    prep = prepare_synthesis(network, config)
+    with observe.span("map"):
+        observe.add("groups", len(prep.groups))
+        group_signals = prep.engine.run_groups(prep.group_nodes)
+        return prep.finish(group_signals)
 
 
 def verify_flow(original: Network, result: FlowResult) -> bool:

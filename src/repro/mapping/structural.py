@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from repro import observe
 from repro.bdd.manager import BDD, FALSE, TRUE
-from repro.mapping.flow import FlowConfig, FlowResult, GroupRecord, _FlowState
+from repro.engine import Engine
+from repro.mapping.flow import FlowConfig, FlowResult
 from repro.mapping.lut import check_k_feasible
 from repro.network.network import Network
+from repro.observe.stats import BddStats
 from repro.partitioning.outputs import partition_outputs
 
 
@@ -148,8 +150,7 @@ def synthesize_structural(
     signal_of_level: dict[int, str] = {}
     for name in network.inputs:
         lut.add_input(name)
-    records: list[GroupRecord] = []
-    state = _FlowState(bdd, config, lut, signal_of_level, records=records)
+    engine = Engine(bdd, config, lut, signal_of_level)
     # Frontier levels resolve to mapped signals as they are emitted; PIs now.
     emitted: dict[str, str] = {name: name for name in network.inputs}
     for lvl, sig in frontier.items():
@@ -157,6 +158,10 @@ def synthesize_structural(
             signal_of_level[lvl] = emitted[sig]
 
     with observe.span("map"):
+        # Each batch is a barrier: its boundary signals must exist before
+        # the next batch reads them.  Within a batch, the grouped clusters
+        # are independent engine task groups (the process executor maps
+        # them concurrently).
         for batch in _independent_batches(bdd, items, frontier):
             observe.add("batches")
             nodes = [node for _, node in batch]
@@ -174,9 +179,10 @@ def synthesize_structural(
                 )
             else:
                 groups = [[i] for i in range(len(batch))]
-            for group in groups:
-                cache: dict[int, str] = {}
-                signals = state.emit_vector([nodes[i] for i in group], cache)
+            group_signals = engine.run_groups(
+                [[nodes[i] for i in group] for group in groups]
+            )
+            for group, signals in zip(groups, group_signals):
                 for i, sig in zip(group, signals):
                     emitted[names[i]] = sig
             # boundary variables of this batch now resolve to their LUT signals
@@ -191,6 +197,7 @@ def synthesize_structural(
         network=lut,
         output_signals=output_signals,
         config=config,
-        records=records,
-        bdd_stats=bdd.cache_stats(),
+        records=engine.context.records,
+        bdd_stats=BddStats.from_manager(bdd),
+        engine_stats=engine.stats(),
     )

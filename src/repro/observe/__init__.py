@@ -33,18 +33,22 @@ from repro.errors import BudgetExceeded
 from repro.observe.report import (
     ReportSchemaError,
     SCHEMA_ID,
+    SCHEMA_ID_V1,
     build_report,
     flatten_phases,
     format_tree,
     validate_report,
 )
+from repro.observe.stats import BddStats
 from repro.observe.tracer import Budget, Span, Tracer
 
 __all__ = [
+    "BddStats",
     "Budget",
     "BudgetExceeded",
     "ReportSchemaError",
     "SCHEMA_ID",
+    "SCHEMA_ID_V1",
     "Span",
     "Tracer",
     "add",

@@ -2,16 +2,18 @@
 
 A run report is the JSON serialization of a :class:`repro.observe.Tracer`
 span tree plus run metadata.  The format is versioned
-(``repro-run-report/1``) and validated by :func:`validate_report` -- a
+(``repro-run-report/2``) and validated by :func:`validate_report` -- a
 dependency-free structural checker the CI smoke runs against every emitted
-report (``python -m repro.observe out.json``).
+report (``python -m repro.observe out.json``).  Version 1 reports (without
+the ``engine`` section) are still accepted by the validator.
 
 Schema (all times in seconds, all counters numeric)::
 
     {
-      "schema": "repro-run-report/1",
+      "schema": "repro-run-report/2",
       "total_seconds": <float>,          # sum of top-level span times
       "meta": {<str>: <scalar>, ...},    # free-form run metadata
+      "engine": {<str>: <scalar>, ...},  # optional: task-graph engine stats
       "spans": [<span>, ...]             # top-level spans in open order
     }
     <span> = {
@@ -21,6 +23,11 @@ Schema (all times in seconds, all counters numeric)::
       "counters": {<str>: <number>, ...},
       "children": [<span>, ...]
     }
+
+The ``engine`` section (new in version 2) is a flat object of scalars
+describing the :mod:`repro.engine` run: the executor taken, worker count,
+per-kind task counts and the queue-depth high-water mark (see
+``docs/ARCHITECTURE.md``).
 
 :func:`format_tree` renders the same tree for humans (the CLI's
 ``--trace``).
@@ -33,7 +40,9 @@ from typing import Any
 
 from repro.observe.tracer import Span, Tracer
 
-SCHEMA_ID = "repro-run-report/1"
+SCHEMA_ID = "repro-run-report/2"
+#: Previous schema version, still accepted by :func:`validate_report`.
+SCHEMA_ID_V1 = "repro-run-report/1"
 
 
 class ReportSchemaError(ValueError):
@@ -50,15 +59,27 @@ def _span_payload(span: Span) -> dict[str, Any]:
     }
 
 
-def build_report(tracer: Tracer, meta: dict[str, Any] | None = None) -> dict[str, Any]:
-    """Serialize a tracer's span tree as a schema-conforming report."""
+def build_report(
+    tracer: Tracer,
+    meta: dict[str, Any] | None = None,
+    engine: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Serialize a tracer's span tree as a schema-conforming report.
+
+    ``engine`` is the optional flat scalar object describing a task-graph
+    engine run (``repro.engine``); pass e.g.
+    ``FlowResult.engine_stats.as_dict()``.
+    """
     spans = [_span_payload(c) for c in tracer.root.children.values()]
-    return {
+    payload = {
         "schema": SCHEMA_ID,
         "total_seconds": sum(s["seconds"] for s in spans),
         "meta": dict(meta or {}),
         "spans": spans,
     }
+    if engine is not None:
+        payload["engine"] = dict(engine)
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -114,12 +135,24 @@ def validate_report(payload: Any) -> dict[str, Any]:
     """
     if not isinstance(payload, dict):
         _fail("$", "report must be an object")
-    if payload.get("schema") != SCHEMA_ID:
-        _fail("$.schema", f"expected {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    schema = payload.get("schema")
+    if schema not in (SCHEMA_ID, SCHEMA_ID_V1):
+        _fail(
+            "$.schema",
+            f"expected {SCHEMA_ID!r} or {SCHEMA_ID_V1!r}, got {schema!r}",
+        )
     required = {"schema", "total_seconds", "meta", "spans"}
     missing = required - payload.keys()
     if missing:
         _fail("$", f"missing keys {sorted(missing)}")
+    if "engine" in payload:
+        if schema == SCHEMA_ID_V1:
+            _fail("$.engine", "engine section requires schema repro-run-report/2")
+        if not isinstance(payload["engine"], dict):
+            _fail("$.engine", "must be an object")
+        for key, value in payload["engine"].items():
+            if not isinstance(key, str) or not isinstance(value, _SCALAR):
+                _fail("$.engine", f"entry {key!r} must map a string to a scalar")
     total = payload["total_seconds"]
     if not isinstance(total, (int, float)) or isinstance(total, bool) or total < 0:
         _fail("$.total_seconds", "must be a non-negative number")

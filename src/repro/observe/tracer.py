@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceeded
+from repro.observe.stats import BddStats
 
 
 @dataclass(frozen=True)
@@ -130,11 +131,11 @@ class Tracer:
     def _watched_stats(self) -> tuple[int, int, int, int]:
         nodes = hits = misses = evictions = 0
         for bdd in self._watched:
-            stats = bdd.cache_stats()
-            nodes += stats["nodes"]
-            hits += stats["hits"]
-            misses += stats["misses"]
-            evictions += stats["evictions"]
+            stats = BddStats.from_manager(bdd)
+            nodes += stats.nodes
+            hits += stats.hits
+            misses += stats.misses
+            evictions += stats.evictions
         return (nodes, hits, misses, evictions)
 
     # ------------------------------------------------------------------

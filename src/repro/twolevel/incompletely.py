@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.boolfunc.cube import Cube
 from repro.boolfunc.sop import Sop
-from repro.twolevel.espresso import expand
+from repro.twolevel.espresso import espresso, expand
 from repro.twolevel.tautology import complement, covers_cube, is_tautology
 
 
@@ -96,4 +96,10 @@ def espresso_dc(cover: Sop, dc: Sop, max_iterations: int = 10) -> Sop:
             best, best_cost = current, cost
         else:
             break
+    # The don't-care-guided iteration can land in a worse local minimum
+    # than ignoring the DC set altogether; the plain result is always a
+    # valid DC solution, so never return anything more expensive.
+    plain = espresso(cover, max_iterations=max_iterations)
+    if _cost(plain) < best_cost:
+        return plain
     return best

@@ -1,0 +1,102 @@
+"""Unit tests for the task graph: kinds, dependencies, counters."""
+
+import pytest
+
+from repro.engine.tasks import TASK_KINDS, EngineStats, TaskGraph
+
+
+def noop():
+    return []
+
+
+class TestTaskCreation:
+    def test_ids_are_sequential(self):
+        graph = TaskGraph()
+        tasks = [graph.new_task("emit-lut", noop) for _ in range(3)]
+        assert [t.id for t in tasks] == [0, 1, 2]
+
+    def test_unknown_kind_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="unknown task kind"):
+            graph.new_task("frobnicate", noop)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="dependency 7"):
+            graph.new_task("compose", noop, deps=(7,))
+
+    def test_all_kinds_accepted(self):
+        graph = TaskGraph()
+        for kind in TASK_KINDS:
+            graph.new_task(kind, noop)
+
+
+class TestExecution:
+    def test_execute_returns_children(self):
+        graph = TaskGraph()
+        child = graph.new_task("emit-lut", noop)
+        parent = graph.new_task("decompose-vector", lambda: [child])
+        assert graph.execute(parent) == [child]
+        assert parent.done
+
+    def test_double_execution_rejected(self):
+        graph = TaskGraph()
+        task = graph.new_task("emit-lut", noop)
+        graph.execute(task)
+        with pytest.raises(ValueError, match="already executed"):
+            graph.execute(task)
+
+    def test_unmet_dependency_rejected(self):
+        graph = TaskGraph()
+        dep = graph.new_task("emit-lut", noop)
+        join = graph.new_task("compose", noop, deps=(dep.id,))
+        with pytest.raises(ValueError, match="before dependency"):
+            graph.execute(join)
+        graph.execute(dep)
+        graph.execute(join)  # now fine
+
+    def test_run_side_effects_happen_once(self):
+        graph = TaskGraph()
+        hits = []
+        task = graph.new_task("emit-lut", lambda: (hits.append(1), [])[1])
+        graph.execute(task)
+        assert hits == [1]
+
+
+class TestCounters:
+    def test_kind_counts_and_stats(self):
+        graph = TaskGraph()
+        for kind in ("emit-lut", "emit-lut", "compose", "shannon-split"):
+            graph.execute(graph.new_task(kind, noop))
+        graph.note_queue_depth(5)
+        graph.note_queue_depth(2)
+        stats = graph.stats(executor="serial", workers=1)
+        assert stats.tasks_total == 4
+        assert stats.tasks_emit_lut == 2
+        assert stats.tasks_compose == 1
+        assert stats.tasks_shannon == 1
+        assert stats.tasks_decompose == 0
+        assert stats.queue_depth_max == 5
+        assert stats.tasks_offloaded == 0
+
+    def test_merge_counts_marks_offloaded(self):
+        graph = TaskGraph()
+        graph.execute(graph.new_task("compose", noop))
+        graph.merge_counts({"emit-lut": 3, "decompose-vector": 2}, offloaded=True)
+        stats = graph.stats(executor="process", workers=2)
+        assert stats.tasks_total == 6
+        assert stats.tasks_offloaded == 5
+        assert stats.tasks_emit_lut == 3
+        assert stats.executor == "process"
+        assert stats.workers == 2
+
+    def test_merge_unknown_kind_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="unknown task kind"):
+            graph.merge_counts({"bogus": 1})
+
+    def test_stats_as_dict_is_flat_scalars(self):
+        stats = EngineStats(executor="serial", workers=1, tasks_total=7)
+        payload = stats.as_dict()
+        assert payload["tasks_total"] == 7
+        assert all(isinstance(v, (str, int)) for v in payload.values())

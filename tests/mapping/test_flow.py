@@ -158,3 +158,82 @@ class TestStrictFlow:
         strict = synthesize(net, FlowConfig(k=4, mode="multi", strict=True))
         assert verify_flow(net, strict)
         assert loose.num_luts <= strict.num_luts
+
+
+class TestShannonFallback:
+    """Pinned non-decomposable function exercising the mux-split path.
+
+    The truth table was found by search: with ``ladder_cap=k`` the bound
+    set cannot widen, no 4-variable bound set makes progress, and the flow
+    must fall back to a Shannon split (Section 7's termination guarantee).
+    """
+
+    PINNED_BITS = 0xCD613E30D8F16ADF  # 6-variable truth table
+    CONFIG = dict(k=4, ladder_cap=4)
+
+    def _network(self):
+        return network_from_tables([TruthTable(6, self.PINNED_BITS)])
+
+    @pytest.mark.parametrize("mode", ["multi", "single"])
+    def test_mux_split_fires_and_verifies(self, mode):
+        net = self._network()
+        result = synthesize(net, FlowConfig(mode=mode, **self.CONFIG))
+        assert result.engine_stats.tasks_shannon > 0
+        # the mux LUT is present (prefix M) and the result is exact
+        assert any(name.startswith("M") for name in result.network.nodes)
+        assert verify_flow(net, result)
+        check_k_feasible(result.network, 4)
+
+    def test_truncation_counters_fire(self):
+        from repro import observe
+        from repro.observe import Tracer
+
+        net = self._network()
+        tracer = Tracer()
+        with observe.tracing(tracer):
+            with observe.span("synthesize"):
+                synthesize(net, FlowConfig(mode="single", **self.CONFIG))
+        flat = tracer.root.children["synthesize"]
+
+        def total(span, key):
+            own = span.counters.get(key, 0)
+            return own + sum(total(c, key) for c in span.children.values())
+
+        assert total(flat, "shannon_splits") > 0
+        assert total(flat, "ladder_cap_truncations") > 0
+
+    def test_wider_ladder_decomposes_the_same_function(self):
+        # the default cap lets the ladder widen past the stuck bound
+        net = self._network()
+        result = synthesize(net, FlowConfig(k=4, mode="single"))
+        assert result.engine_stats.tasks_shannon == 0
+        assert verify_flow(net, result)
+
+
+class TestFlowConfigValidation:
+    def test_ladder_cap_below_k_rejected(self):
+        with pytest.raises(ValueError, match="ladder_cap"):
+            FlowConfig(k=5, ladder_cap=4)
+
+    def test_negative_peel_rounds_rejected(self):
+        with pytest.raises(ValueError, match="peel_rounds"):
+            FlowConfig(peel_rounds=-1)
+
+    def test_config_is_frozen(self):
+        config = FlowConfig()
+        with pytest.raises(Exception):
+            config.k = 6
+
+
+class TestTypedStats:
+    def test_bdd_stats_is_dataclass(self):
+        from repro.observe import BddStats
+
+        net = ones_count_network(5, 2)
+        result = synthesize(net, FlowConfig(k=4))
+        assert isinstance(result.bdd_stats, BddStats)
+        assert result.bdd_stats.nodes > 0
+        payload = result.bdd_stats.as_dict()
+        assert set(payload) == {
+            "nodes", "entries", "hits", "misses", "evictions", "hit_rate",
+        }

@@ -145,3 +145,44 @@ class TestCliValidator:
     def test_no_arguments_is_usage_error(self, capsys):
         assert report_main([]) == 2
         assert "usage" in capsys.readouterr().err
+
+
+class TestEngineSection:
+    def test_engine_section_round_trips(self):
+        engine = {
+            "executor": "process", "workers": 2, "tasks_total": 10,
+            "tasks_decompose": 3, "tasks_emit_lut": 5, "tasks_shannon": 0,
+            "tasks_compose": 2, "queue_depth_max": 4, "tasks_offloaded": 10,
+        }
+        report = build_report(make_tracer(), engine=engine)
+        assert validate_report(report) is report
+        assert report["engine"] == engine
+        assert json.loads(json.dumps(report))["engine"] == engine
+
+    def test_engine_section_omitted_when_not_given(self):
+        report = build_report(make_tracer())
+        assert "engine" not in report
+        validate_report(report)
+
+    def test_v1_reports_still_validate(self):
+        report = build_report(make_tracer())
+        report["schema"] = "repro-run-report/1"
+        assert validate_report(report) is report
+
+    def test_engine_on_v1_rejected(self):
+        report = build_report(make_tracer(), engine={"executor": "serial"})
+        report["schema"] = "repro-run-report/1"
+        with pytest.raises(ReportSchemaError, match=r"\$\.engine"):
+            validate_report(report)
+
+    def test_non_flat_engine_rejected(self):
+        report = build_report(make_tracer(), engine={"nested": {"a": 1}})
+        with pytest.raises(ReportSchemaError, match=r"\$\.engine"):
+            validate_report(report)
+
+    def test_from_engine_stats_as_dict(self):
+        from repro.engine import EngineStats
+
+        report = build_report(make_tracer(), engine=EngineStats().as_dict())
+        validate_report(report)
+        assert report["engine"]["executor"] == "serial"

@@ -184,3 +184,59 @@ class TestObservability:
                    "--budget-nodes", "10000000"])
         assert rc == 0
         assert "verified" in capsys.readouterr().out
+
+
+class TestExecutorFlag:
+    def test_serial_and_process_agree(self, pla_file, tmp_path, capsys):
+        serial_out = tmp_path / "serial.blif"
+        process_out = tmp_path / "process.blif"
+        assert main(["synth", str(pla_file), "-o", str(serial_out)]) == 0
+        assert main(["synth", str(pla_file), "--executor", "process",
+                     "--jobs", "2", "-o", str(process_out)]) == 0
+        assert serial_out.read_text() == process_out.read_text()
+        assert "executor = process" in capsys.readouterr().out
+
+    def test_report_carries_engine_section(self, pla_file, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        assert main(["synth", str(pla_file), "--report", str(report_path)]) == 0
+        payload = validate_report(json.loads(report_path.read_text()))
+        assert payload["schema"] == "repro-run-report/2"
+        engine = payload["engine"]
+        assert engine["executor"] == "serial"
+        assert engine["tasks_total"] > 0
+
+    def test_rejects_unknown_executor(self, pla_file):
+        with pytest.raises(SystemExit):
+            main(["synth", str(pla_file), "--executor", "quantum"])
+
+
+class TestBatch:
+    def test_batch_maps_and_verifies_all(self, pla_file, blif_file, tmp_path, capsys):
+        out_dir = tmp_path / "mapped"
+        rc = main(["batch", str(pla_file), str(blif_file),
+                   "-o", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 circuits" in out
+        assert out.count("verified") >= 2
+        written = sorted(p.name for p in out_dir.glob("*.blif"))
+        assert len(written) == 2
+
+    def test_batch_process_matches_per_circuit_synth(self, pla_file, tmp_path, capsys):
+        solo_out = tmp_path / "solo.blif"
+        assert main(["synth", str(pla_file), "-o", str(solo_out)]) == 0
+        out_dir = tmp_path / "batch"
+        rc = main(["batch", str(pla_file), "--executor", "process",
+                   "--jobs", "2", "-o", str(out_dir)])
+        assert rc == 0
+        (batch_blif,) = out_dir.glob("*.blif")
+        assert batch_blif.read_text() == solo_out.read_text()
+
+    def test_batch_report_merges_engine_stats(self, pla_file, blif_file, tmp_path):
+        report_path = tmp_path / "batch.json"
+        rc = main(["batch", str(pla_file), str(blif_file),
+                   "--report", str(report_path)])
+        assert rc == 0
+        payload = validate_report(json.loads(report_path.read_text()))
+        assert payload["engine"]["tasks_total"] > 0
+        assert payload["meta"]["verified"] is True
