@@ -43,6 +43,7 @@ class PortableDag:
 
     @property
     def num_nodes(self) -> int:
+        """Number of internal (non-terminal) nodes in the exported DAG."""
         return len(self.nodes)
 
 

@@ -29,6 +29,14 @@ and the engine's task counters; see ``docs/OBSERVABILITY.md``), ``--trace``
 prints the span tree to stderr, and ``--budget-seconds`` /
 ``--budget-nodes`` arm soft budgets that abort a runaway synthesis with
 exit code 3 instead of running unbounded.
+
+Reliability (process executor; see ``docs/RELIABILITY.md``):
+``--task-timeout`` and ``--task-retries`` bound and retry failing groups,
+``--inject-faults PLAN`` arms the deterministic fault harness,
+``--checkpoint FILE`` persists completed groups and ``--resume FILE``
+replays them for a byte-identical restart.  ``batch`` isolates circuit
+failures: a crashing circuit is reported (exit code 1) while the others
+still map.
 """
 
 from __future__ import annotations
@@ -41,8 +49,8 @@ from pathlib import Path
 
 from repro import observe
 from repro.algebraic.rugged import rugged
-from repro.engine import synthesize_batch
-from repro.errors import BudgetExceeded
+from repro.engine import parse_fault_plan, synthesize_batch
+from repro.errors import BudgetExceeded, CheckpointError, ReproError
 from repro.io.blif import parse_blif, write_blif
 from repro.io.pla import parse_pla
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
@@ -100,12 +108,32 @@ def _make_tracer(args: argparse.Namespace) -> Tracer | None:
 
 
 def _make_config(args: argparse.Namespace) -> FlowConfig:
+    fault_plan = (
+        parse_fault_plan(args.inject_faults) if args.inject_faults else None
+    )
+    if fault_plan is not None and args.executor != "process":
+        raise ValueError("--inject-faults needs --executor process")
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    if (checkpoint or resume) and args.executor != "process":
+        raise ValueError(
+            "--checkpoint/--resume need --executor process "
+            "(the serial executor has no group boundary to checkpoint at)"
+        )
+    if (checkpoint or resume) and getattr(args, "structural", False):
+        raise ValueError("--checkpoint/--resume do not apply to --structural")
     return FlowConfig(
         k=args.k,
         mode=args.mode,
         strict=args.strict,
         jobs=args.jobs,
         executor=args.executor,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+        fault_plan=fault_plan,
+        checkpoint_path=checkpoint,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume_from=resume,
     )
 
 
@@ -189,9 +217,15 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _merge_engine_stats(results) -> dict:
-    """Sum engine task counters across a batch (flat, report-ready)."""
+    """Sum engine task counters across a batch (flat, report-ready).
+
+    Failed circuits (``ReproError`` entries under ``fail_fast=False``) have
+    no stats and are skipped.
+    """
     merged: dict[str, int | str] = {}
     for res in results:
+        if isinstance(res, ReproError):
+            continue
         for key, value in res.engine_stats.as_dict().items():
             if isinstance(value, str):
                 merged[key] = value
@@ -211,9 +245,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     def run() -> tuple:
         with observe.span("synthesize"):
-            batch = synthesize_batch(networks, config)
+            batch = synthesize_batch(networks, config, fail_fast=False)
         with observe.span("verify"):
-            good = [verify_flow(ref, res) for ref, res in zip(references, batch)]
+            good = [
+                not isinstance(res, ReproError) and verify_flow(ref, res)
+                for ref, res in zip(references, batch)
+            ]
         return batch, good
 
     start = time.perf_counter()
@@ -225,7 +262,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
 
     failures = 0
+    mapped = [r for r in results if not isinstance(r, ReproError)]
     for net, res, good in zip(networks, results, ok):
+        if isinstance(res, ReproError):
+            failures += 1
+            print(f"{net.name}: FAILED: {res}")
+            continue
         status = "verified" if good else "NOT EQUIVALENT"
         failures += 0 if good else 1
         print(f"{net.name}: {res.num_luts} LUTs ({status})")
@@ -234,7 +276,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{net.name}.blif").write_text(write_blif(res.network))
     print(f"batch:  {len(networks)} circuits, "
-          f"{sum(r.num_luts for r in results)} LUTs total "
+          f"{sum(r.num_luts for r in mapped)} LUTs total "
           f"(executor = {args.executor}, jobs = {args.jobs}, {elapsed:.1f}s)")
 
     if tracer is not None:
@@ -248,7 +290,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                     "k": args.k,
                     "mode": args.mode,
                     "jobs": args.jobs,
-                    "luts": sum(r.num_luts for r in results),
+                    "luts": sum(r.num_luts for r in mapped),
                     "verified": failures == 0,
                     "wall_clock_seconds": elapsed,
                 },
@@ -258,7 +300,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             print(f"report: {args.report}")
 
     if failures:
-        print(f"ERROR: {failures} mapped network(s) NOT equivalent", file=sys.stderr)
+        print(f"ERROR: {failures} circuit(s) failed or NOT equivalent",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -282,6 +325,16 @@ def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
                      help="soft wall-clock budget of the synthesis phase")
     cmd.add_argument("--budget-nodes", type=int, metavar="N",
                      help="soft budget on BDD nodes allocated during synthesis")
+    cmd.add_argument("--task-timeout", type=float, metavar="S",
+                     help="per-group wall-clock ceiling under --executor "
+                          "process (timed-out groups retry)")
+    cmd.add_argument("--task-retries", type=int, default=2, metavar="N",
+                     help="retries per failing group before degrading to the "
+                          "serial executor (default 2)")
+    cmd.add_argument("--inject-faults", metavar="PLAN",
+                     help="deterministic fault injection, e.g. "
+                          "'kill@0,delay=0.1@2' or 'seed=7,kills=2' "
+                          "(see docs/RELIABILITY.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -303,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partial-collapse flow (for circuits too large to collapse)")
     synth.add_argument("--stats", action="store_true",
                        help="print decomposition statistics (m, p)")
+    synth.add_argument("--checkpoint", metavar="FILE",
+                       help="write completed groups to FILE (process executor; "
+                            "resume an interrupted run with --resume FILE)")
+    synth.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                       help="flush the checkpoint every N merged groups "
+                            "(default 1)")
+    synth.add_argument("--resume", metavar="FILE",
+                       help="replay the completed groups of a checkpoint file "
+                            "(same circuit and flow knobs; byte-identical BLIF)")
     synth.add_argument("-o", "--output", help="write the mapped netlist as BLIF")
     synth.set_defaults(func=cmd_synth)
 
@@ -321,9 +383,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,8 +20,14 @@ explicit:
   independent vector tasks out to worker processes, each on its own BDD
   manager, and re-imports the mapped sub-networks.
 - :mod:`repro.engine.batch` -- many networks through one shared queue.
+- :mod:`repro.engine.faults` -- deterministic seeded fault injection for
+  exercising the executor's recovery paths (``--inject-faults``).
+- :mod:`repro.engine.checkpoint` -- checkpoint/resume of completed groups
+  (``--checkpoint`` / ``--resume``).
 
-See ``docs/ARCHITECTURE.md`` for the layering and the dataflow diagram.
+See ``docs/ARCHITECTURE.md`` for the layering and the dataflow diagram,
+``docs/RELIABILITY.md`` for retry, degradation, fault-plan and checkpoint
+semantics.
 """
 
 from repro.engine.tasks import EngineStats, Task, TaskGraph, TaskKind
@@ -33,6 +39,13 @@ from repro.engine.policies import (
 )
 from repro.engine.emitter import EmitContext, VectorEmitter
 from repro.engine.batch import synthesize_batch
+from repro.engine.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpointer,
+    ResumeState,
+    load_checkpoint,
+)
+from repro.engine.faults import FaultPlan, FaultSpec, parse_fault_plan
 from repro.engine.executors import (
     EXECUTORS,
     Engine,
@@ -43,21 +56,28 @@ from repro.engine.executors import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpointer",
     "EXECUTORS",
     "DecomposePolicy",
     "EmitContext",
     "Engine",
     "EngineStats",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
     "LadderPeelPolicy",
     "PolicyDecision",
     "ProcessExecutor",
+    "ResumeState",
     "SerialExecutor",
     "Task",
     "TaskGraph",
     "TaskKind",
     "VectorEmitter",
+    "load_checkpoint",
     "make_executor",
     "make_policy",
+    "parse_fault_plan",
     "synthesize_batch",
 ]

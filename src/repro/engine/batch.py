@@ -10,6 +10,14 @@ serializes the batch the way per-network mapping would.
 Results come back in input order and are identical to per-network
 :func:`synthesize` calls with the same configuration (the executor
 guarantee is per-group, so batching does not change any mapped network).
+
+**Failure isolation**: each circuit collects inside its own failure
+boundary, so a worker crash (or any permanent group failure) in one
+circuit fails *only that circuit* -- the shared pool is rebuilt by the
+executor's retry machinery and the remaining circuits complete.  With
+``fail_fast=False`` the failed circuit's slot holds the exception instead
+of a :class:`FlowResult`; the CLI reports it and signals partial failure
+through the exit code (see ``docs/RELIABILITY.md``).
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro import observe
 from repro.engine.executors import ProcessExecutor
+from repro.engine.faults import NO_FAULTS
+from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
     from repro.mapping.flow import FlowConfig, FlowResult
@@ -25,27 +35,71 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
 
 
 def synthesize_batch(
-    networks: Sequence["Network"], config: "FlowConfig | None" = None
-) -> list["FlowResult"]:
-    """Map every network; one shared queue under the process executor."""
+    networks: Sequence["Network"],
+    config: "FlowConfig | None" = None,
+    fail_fast: bool = True,
+) -> list:
+    """Map every network; one shared queue under the process executor.
+
+    Returns one entry per input network, in order.  With the default
+    ``fail_fast=True`` the first failing circuit raises; with
+    ``fail_fast=False`` a failing circuit's entry is the
+    :class:`repro.errors.ReproError` that killed it while every other
+    circuit still maps normally.
+    """
     from repro.mapping.flow import FlowConfig, prepare_synthesis, synthesize
 
     config = config or FlowConfig()
     if config.executor != "process":
-        return [synthesize(net, config) for net in networks]
+        results: list = []
+        for net in networks:
+            try:
+                results.append(synthesize(net, config))
+            except ReproError as exc:
+                if fail_fast:
+                    raise
+                results.append(exc)
+        return results
 
     preps = [prepare_synthesis(net, config) for net in networks]
+    total_groups = sum(len(prep.groups) for prep in preps)
+    faults = (
+        config.fault_plan.resolve(total_groups)
+        if config.fault_plan is not None
+        else NO_FAULTS
+    )
+    submissions = []
     with observe.span("engine-dispatch"):
         observe.add("batch_networks", len(preps))
-        futures = []
+        first_ordinal = 0
         for prep in preps:
             executor = prep.engine.executor
-            assert isinstance(executor, ProcessExecutor)
+            if not isinstance(executor, ProcessExecutor):
+                raise TypeError(
+                    f"batch dispatch needs a ProcessExecutor, got {executor!r}"
+                )
             observe.add("groups", len(prep.groups))
-            futures.append(executor.submit_groups(prep.engine, prep.group_nodes))
-    results: list["FlowResult"] = []
+            submissions.append(
+                executor.submit_groups(
+                    prep.engine,
+                    prep.group_nodes,
+                    first_ordinal=first_ordinal,
+                    faults=faults,
+                )
+            )
+            first_ordinal += len(prep.groups)
+    results = []
     with observe.span("engine-collect"):
-        for prep, futs in zip(preps, futures):
-            signals = prep.engine.executor.collect_groups(prep.engine, futs)
-            results.append(prep.finish(signals))
+        for prep, subs in zip(preps, submissions):
+            executor = prep.engine.executor
+            try:
+                signals = executor.collect_groups(
+                    prep.engine, subs, faults=faults
+                )
+                results.append(prep.finish(signals))
+            except ReproError as exc:
+                if fail_fast:
+                    raise
+                observe.add("batch_circuits_failed")
+                results.append(exc)
     return results

@@ -51,6 +51,7 @@ class EmitContext:
         records: list["GroupRecord"] | None = None,
         constants: dict[bool, str] | None = None,
     ) -> None:
+        """Bind the shared flow state one emission run works against."""
         self.bdd = bdd
         self.config = config
         self.lut = lut
@@ -61,6 +62,7 @@ class EmitContext:
     # ------------------------------------------------------------------
 
     def constant_signal(self, value: bool) -> str:
+        """Signal carrying constant ``value``, emitting its LUT on first use."""
         sig = self.constants.get(value)
         if sig is None:
             sig = self.lut.fresh_name("const")
@@ -99,6 +101,7 @@ class VectorEmitter:
     def __init__(
         self, context: EmitContext, policy: DecomposePolicy, graph: TaskGraph
     ) -> None:
+        """Emit into ``context`` using ``policy``, enqueueing onto ``graph``."""
         self.context = context
         self.policy = policy
         self.graph = graph

@@ -16,26 +16,55 @@ Two executors ship:
   serial group order, the resulting network is again identical to the
   serial one -- only wall-clock differs.
 
+The process executor is **fault-tolerant** (see ``docs/RELIABILITY.md``):
+a failed group submission -- worker crash, exceeded
+``FlowConfig.task_timeout``, or any exception crossing the pool -- is
+retried up to ``FlowConfig.task_retries`` times with exponential backoff,
+rebuilding the pool after a crash; a group that keeps failing degrades to
+the in-parent serial path, which still yields the identical network
+because emission order is preserved.  Every failure is recorded as a
+structured record via :func:`repro.observe.failure` and counted in
+:class:`repro.engine.tasks.EngineStats`.  With
+``FlowConfig.checkpoint_path`` set, merged group results are also
+serialized to a versioned checkpoint file
+(:mod:`repro.engine.checkpoint`) so an interrupted run can resume with
+``FlowConfig.resume_from`` and produce byte-identical output.
+
 The :class:`Engine` facade bundles context + policy + graph + executor
 behind the two calls the flows need: ``run_groups`` and ``stats``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import TYPE_CHECKING, Protocol
 
 from repro import observe
 from repro.bdd.manager import BDD
 from repro.bdd.transfer import export_dag
 from repro.boolfunc.sop import Cube, Sop
+from repro.engine.checkpoint import (
+    Checkpointer,
+    ResumeState,
+    config_digest,
+    load_checkpoint,
+    payload_fingerprint,
+)
 from repro.engine.emitter import EmitContext, VectorEmitter
+from repro.engine.faults import NO_FAULTS, ResolvedFaults, perform_fault
 from repro.engine.policies import make_policy
 from repro.engine.tasks import EngineStats, TaskGraph
 from repro.engine.worker import GroupPayload, GroupResult, run_group
+from repro.errors import FaultInjected, GroupFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
     from repro.mapping.flow import FlowConfig
+
+#: Hard ceiling on one backoff sleep, whatever the retry count.
+MAX_BACKOFF_SECONDS = 2.0
 
 
 class Executor(Protocol):
@@ -60,6 +89,7 @@ class SerialExecutor:
     def run_groups(
         self, engine: "Engine", groups: list[list[int]]
     ) -> list[list[str]]:
+        """Drain every group in order on the engine's own context."""
         return self.drain_groups(engine.emitter, engine.graph, groups)
 
     def drain_groups(
@@ -95,46 +125,308 @@ class SerialExecutor:
             stack.extend(reversed(children))
 
 
+@dataclass
+class Submission:
+    """Book-keeping of one in-flight group on the process pool.
+
+    Attributes:
+        ordinal: submission ordinal (dispatch order, batch-wide).
+        f_nodes: the group's BDD roots in the parent manager (kept so the
+            degraded serial fallback can re-run the group in-parent).
+        payload: the exported subproblem (resubmitted on retry).
+        fingerprint: checkpoint identity of the payload (None when
+            neither checkpointing nor resume is configured).
+        future: the pending pool future (None for resumed groups).
+        cached: result replayed from a resume checkpoint, if any.
+        attempt: current retry attempt (0 = first submission).
+        failures: structured records of every failed attempt so far.
+        degraded_signals: output signals produced by the in-parent serial
+            fallback (None unless the group degraded).
+    """
+
+    ordinal: int
+    f_nodes: list[int]
+    payload: GroupPayload
+    fingerprint: str | None = None
+    future: object | None = None
+    cached: GroupResult | None = None
+    attempt: int = 0
+    failures: list[dict] = field(default_factory=list)
+    degraded_signals: list[str] | None = None
+
+
 class ProcessExecutor:
     """Fan independent groups out to worker processes, re-import in order."""
 
     name = "process"
 
     def __init__(self, jobs: int) -> None:
+        """Use up to ``jobs`` worker processes; reliability counters start at zero."""
         self.workers = max(1, jobs)
+        self._counts = {
+            "tasks_retried": 0,
+            "task_timeouts": 0,
+            "worker_crashes": 0,
+            "groups_degraded": 0,
+            "faults_injected": 0,
+            "checkpoint_saved": 0,
+            "checkpoint_replayed": 0,
+        }
+
+    def reliability(self) -> dict[str, int]:
+        """Snapshot of the retry/timeout/degradation/checkpoint counters."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # the drain
+    # ------------------------------------------------------------------
 
     def run_groups(
         self, engine: "Engine", groups: list[list[int]]
     ) -> list[list[str]]:
+        """Map every group, with retries, degradation and checkpointing."""
+        config = engine.config
         if len(groups) <= 1:
-            # Nothing to overlap; skip the pickling round-trip.
+            # Nothing to overlap; skip the pickling round-trip.  (Fault
+            # injection and checkpointing only apply to pooled groups, but
+            # an incompatible --resume file must still be rejected.)
+            self._load_resume(config)
             return SerialExecutor().run_groups(engine, groups)
+        faults = self._resolve_faults(config, len(groups))
+        resume = self._load_resume(config)
+        ckpt = self._make_checkpointer(config)
         with observe.span("engine-dispatch"):
-            futures = self.submit_groups(engine, groups)
+            subs = self.submit_groups(
+                engine, groups, faults=faults, resume=resume,
+                fingerprints=ckpt is not None,
+            )
         with observe.span("engine-collect"):
-            return self.collect_groups(engine, futures)
+            return self.collect_groups(engine, subs, faults=faults, ckpt=ckpt)
 
-    def submit_groups(self, engine: "Engine", groups: list[list[int]]) -> list:
-        """Queue every group on the shared pool; returns futures in order.
+    @staticmethod
+    def _resolve_faults(config: "FlowConfig", num_groups: int) -> ResolvedFaults:
+        """Pin the configured fault plan (if any) to the group count."""
+        if config.fault_plan is None:
+            return NO_FAULTS
+        return config.fault_plan.resolve(num_groups)
+
+    @staticmethod
+    def _load_resume(config: "FlowConfig") -> ResumeState | None:
+        """Load the resume checkpoint named by the configuration, if any."""
+        if config.resume_from is None:
+            return None
+        state = load_checkpoint(config.resume_from, config)
+        observe.add("resume_groups_available", len(state))
+        return state
+
+    @staticmethod
+    def _make_checkpointer(config: "FlowConfig") -> Checkpointer | None:
+        """Build the checkpoint writer named by the configuration, if any."""
+        if config.checkpoint_path is None:
+            return None
+        return Checkpointer(
+            config.checkpoint_path,
+            config_digest(config),
+            every=config.checkpoint_every,
+        )
+
+    def submit_groups(
+        self,
+        engine: "Engine",
+        groups: list[list[int]],
+        first_ordinal: int = 0,
+        faults: ResolvedFaults = NO_FAULTS,
+        resume: ResumeState | None = None,
+        fingerprints: bool = False,
+    ) -> list[Submission]:
+        """Queue every group on the shared pool; returns submissions in order.
 
         Split from :meth:`collect_groups` so batch mode can enqueue the
-        groups of *many* networks before collecting any of them.
+        groups of *many* networks before collecting any of them
+        (``first_ordinal`` offsets the batch-wide submission ordinals).
+        Groups found in ``resume`` are not submitted at all -- their
+        stored result replays at collect time.
         """
         ctx = engine.context
-        payloads = [self._payload(ctx, f_nodes) for f_nodes in groups]
-        pool = _get_pool(self.workers)
-        return [pool.submit(run_group, p) for p in payloads]
+        subs: list[Submission] = []
+        for i, f_nodes in enumerate(groups):
+            ordinal = first_ordinal + i
+            payload = self._payload(ctx, f_nodes)
+            fingerprint = (
+                payload_fingerprint(payload)
+                if fingerprints or resume is not None
+                else None
+            )
+            sub = Submission(ordinal, list(f_nodes), payload, fingerprint)
+            if resume is not None and fingerprint is not None:
+                sub.cached = resume.lookup(ordinal, fingerprint)
+            if sub.cached is None:
+                sub.future = self._pool_submit(self._armed(sub, faults))
+            subs.append(sub)
+        return subs
 
-    def collect_groups(self, engine: "Engine", futures: list) -> list[list[str]]:
-        """Re-import worker results sequentially, in submission order."""
+    def _pool_submit(self, payload: GroupPayload):
+        """Submit on the shared pool, rebuilding it once if it is broken.
+
+        A killed worker is noticed asynchronously by the pool's management
+        thread, so a pool that looked healthy when the last result was
+        collected can be broken by the time the next run dispatches.
+        """
+        try:
+            return _get_pool(self.workers).submit(run_group, payload)
+        except BrokenExecutor:
+            _reset_pool()
+            return _get_pool(self.workers).submit(run_group, payload)
+
+    def collect_groups(
+        self,
+        engine: "Engine",
+        subs: list[Submission],
+        faults: ResolvedFaults = NO_FAULTS,
+        ckpt: Checkpointer | None = None,
+    ) -> list[list[str]]:
+        """Re-import group results sequentially, in submission order.
+
+        Failed submissions are retried (see :meth:`_await_result`);
+        merged results are checkpointed; parent-side ``abort`` faults
+        fire after the checkpoint flush so resume paths are testable.
+        """
         results: list[list[str]] = []
-        for remaining, future in enumerate(futures):
-            engine.graph.note_queue_depth(len(futures) - remaining)
-            results.append(merge_group_result(engine, future.result()))
+        try:
+            for remaining, sub in enumerate(subs):
+                engine.graph.note_queue_depth(len(subs) - remaining)
+                if sub.cached is not None:
+                    self._counts["checkpoint_replayed"] += 1
+                    observe.add("checkpoint_groups_replayed")
+                    result: GroupResult | None = sub.cached
+                else:
+                    result = self._await_result(engine, sub, faults)
+                if result is not None:
+                    signals = merge_group_result(engine, result)
+                    if ckpt is not None and sub.fingerprint is not None:
+                        ckpt.record(sub.ordinal, sub.fingerprint, result)
+                        self._counts["checkpoint_saved"] += 1
+                else:
+                    # Degraded serial fallback already emitted in-parent.
+                    signals = sub.degraded_signals
+                results.append(signals)
+                abort = faults.abort_after(sub.ordinal)
+                if abort is not None:
+                    self._counts["faults_injected"] += 1
+                    if ckpt is not None:
+                        ckpt.close()
+                    perform_fault(abort, in_worker=False)
+        finally:
+            if ckpt is not None:
+                ckpt.close()
         return results
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def _await_result(
+        self, engine: "Engine", sub: Submission, faults: ResolvedFaults
+    ) -> GroupResult | None:
+        """Wait for one submission, retrying failures with backoff.
+
+        Returns the worker's result, or None when the group was degraded
+        to the in-parent serial path (its signals are then already bound
+        on ``sub.degraded_signals``).  Raises :class:`GroupFailedError`
+        when the group fails permanently.
+        """
+        config = engine.config
+        while True:
+            started = time.perf_counter()
+            try:
+                return sub.future.result(timeout=config.task_timeout)
+            except FutureTimeoutError:
+                kind = "timeout"
+                error = f"group exceeded task_timeout={config.task_timeout:g}s"
+                self._counts["task_timeouts"] += 1
+            except BrokenExecutor as exc:
+                kind = "worker-crash"
+                error = str(exc) or type(exc).__name__
+                self._counts["worker_crashes"] += 1
+                _reset_pool()
+            except FaultInjected as exc:
+                kind = "fault"
+                error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - any worker failure
+                kind = "error"
+                error = f"{type(exc).__name__}: {exc}"
+            self._note_failure(sub, kind, error, started)
+            sub.attempt += 1
+            if sub.attempt > config.task_retries:
+                return self._degrade(engine, sub, faults)
+            self._counts["tasks_retried"] += 1
+            observe.add("tasks_retried")
+            time.sleep(
+                min(
+                    config.retry_backoff * (2 ** (sub.attempt - 1)),
+                    MAX_BACKOFF_SECONDS,
+                )
+            )
+            sub.future = self._pool_submit(self._armed(sub, faults))
+
+    def _armed(self, sub: Submission, faults: ResolvedFaults) -> GroupPayload:
+        """The submission's payload with the attempt's planned fault, if any."""
+        fault = faults.fault_for(sub.ordinal, sub.attempt)
+        if fault is None:
+            return sub.payload
+        self._counts["faults_injected"] += 1
+        observe.add("faults_injected")
+        return dc_replace(sub.payload, fault=fault)
+
+    def _note_failure(
+        self, sub: Submission, kind: str, error: str, started: float
+    ) -> None:
+        """Record one failed attempt (structured, for the run report)."""
+        record = {
+            "kind": kind,
+            "group": sub.ordinal,
+            "attempt": sub.attempt,
+            "error": error,
+            "seconds": round(time.perf_counter() - started, 6),
+        }
+        sub.failures.append(record)
+        observe.failure(**record)
+
+    def _degrade(
+        self, engine: "Engine", sub: Submission, faults: ResolvedFaults
+    ) -> None:
+        """Run a repeatedly-failing group in-parent on the serial path.
+
+        Emission order is unchanged (the group runs at its merge
+        position), so the final network stays identical to a fault-free
+        run.  Raises :class:`GroupFailedError` when degradation is
+        disabled or the serial path fails too.
+        """
+        config = engine.config
+        if not config.degrade_to_serial:
+            raise GroupFailedError(sub.ordinal, sub.failures)
+        self._counts["groups_degraded"] += 1
+        observe.add("groups_degraded")
+        started = time.perf_counter()
+        try:
+            fault = faults.fault_for(sub.ordinal, sub.attempt)
+            if fault is not None:
+                self._counts["faults_injected"] += 1
+                perform_fault(fault, in_worker=False)
+            (signals,) = SerialExecutor().drain_groups(
+                engine.emitter, engine.graph, [sub.f_nodes]
+            )
+        except Exception as exc:
+            self._note_failure(
+                sub, "degraded", f"{type(exc).__name__}: {exc}", started
+            )
+            raise GroupFailedError(sub.ordinal, sub.failures) from exc
+        sub.degraded_signals = signals
+        return None
 
     @staticmethod
     def _payload(ctx: EmitContext, f_nodes: list[int]) -> GroupPayload:
+        """Export one group as a picklable worker subproblem."""
         support = sorted(set().union(*(ctx.bdd.support(f) for f in f_nodes)))
         return GroupPayload(
             dag=export_dag(ctx.bdd, f_nodes),
@@ -175,12 +467,14 @@ def merge_group_result(engine: "Engine", result: GroupResult) -> list[str]:
 
 
 # Lazily created, process-wide engine pool (fork-cheap workers reused
-# across groups and batch runs; rebuilt only when ``jobs`` changes).
+# across groups and batch runs; rebuilt only when ``jobs`` changes or a
+# worker crash breaks the pool).
 _POOL: ProcessPoolExecutor | None = None
 _POOL_JOBS = 0
 
 
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The shared worker pool, (re)built for the requested width."""
     global _POOL, _POOL_JOBS
     if _POOL is None or _POOL_JOBS != jobs:
         if _POOL is not None:
@@ -188,6 +482,14 @@ def _get_pool(jobs: int) -> ProcessPoolExecutor:
         _POOL = ProcessPoolExecutor(max_workers=jobs)
         _POOL_JOBS = jobs
     return _POOL
+
+
+def _reset_pool() -> None:
+    """Discard a broken pool so the next ``_get_pool`` builds a fresh one."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
 
 
 def make_executor(config: "FlowConfig") -> Executor:
@@ -221,6 +523,7 @@ class Engine:
         lut,
         signal_of_level: dict[int, str],
     ) -> None:
+        """Assemble context, task graph, emitter, and executor for one run."""
         self.config = config
         self.context = EmitContext(bdd, config, lut, signal_of_level)
         self.graph = TaskGraph()
@@ -234,5 +537,13 @@ class Engine:
         return self.executor.run_groups(self, groups)
 
     def stats(self) -> EngineStats:
-        """Report-ready counters for the run's ``engine`` section."""
-        return self.graph.stats(self.executor.name, self.executor.workers)
+        """Report-ready counters for the run's ``engine`` section.
+
+        Folds the executor's reliability counters (retries, timeouts,
+        degradations, checkpoint activity) into the task-graph counts.
+        """
+        stats = self.graph.stats(self.executor.name, self.executor.workers)
+        reliability = getattr(self.executor, "reliability", None)
+        if reliability is not None:
+            stats = dc_replace(stats, **reliability())
+        return stats

@@ -83,6 +83,7 @@ class LadderPeelPolicy:
     """The paper-faithful default: scorer race + bound ladder + lone peel."""
 
     def __init__(self, config: "FlowConfig") -> None:
+        """Read the ladder/peel knobs from ``config`` (k, caps, rounds)."""
         self.config = config
 
     # -- one decomposition attempt -------------------------------------
@@ -144,6 +145,7 @@ class LadderPeelPolicy:
     # -- the full plan --------------------------------------------------
 
     def decompose(self, bdd: BDD, vector: list[int]) -> PolicyDecision:
+        """Plan one step for ``vector``: decompose, peel loners, or split."""
         config = self.config
         # Bound-size ladder: start at the configured size (default k) and
         # widen while no output makes progress -- the paper uses bound sets

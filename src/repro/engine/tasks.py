@@ -20,7 +20,7 @@ bit-identical to the pre-engine flow (see ``docs/ARCHITECTURE.md``).
 
 The graph keeps per-kind counters and a queue-depth high-water mark;
 :meth:`TaskGraph.stats` snapshots them as an :class:`EngineStats` for the
-run report's ``engine`` section (``repro-run-report/2``).
+run report's ``engine`` section (``repro-run-report/3``).
 """
 
 from __future__ import annotations
@@ -51,6 +51,15 @@ class EngineStats:
             per-kind execution counts.
         queue_depth_max: high-water mark of simultaneously runnable tasks.
         tasks_offloaded: tasks executed inside worker processes.
+        tasks_retried: group submissions retried after a failure.
+        task_timeouts: group submissions abandoned for exceeding
+            ``FlowConfig.task_timeout``.
+        worker_crashes: process-pool breakages observed (and repaired).
+        groups_degraded: groups that fell back to the in-parent serial
+            path after exhausting their retry budget.
+        faults_injected: faults fired by the fault-injection harness.
+        checkpoint_saved: group results written to the checkpoint file.
+        checkpoint_replayed: group results replayed from ``--resume``.
     """
 
     executor: str = "serial"
@@ -62,6 +71,13 @@ class EngineStats:
     tasks_compose: int = 0
     queue_depth_max: int = 0
     tasks_offloaded: int = 0
+    tasks_retried: int = 0
+    task_timeouts: int = 0
+    worker_crashes: int = 0
+    groups_degraded: int = 0
+    faults_injected: int = 0
+    checkpoint_saved: int = 0
+    checkpoint_replayed: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON form for ``build_report(engine=...)``."""
@@ -97,6 +113,7 @@ class TaskGraph:
     """The work queue: tasks, dependency bookkeeping, and counters."""
 
     def __init__(self) -> None:
+        """Start empty: no tasks, all per-kind counters at zero."""
         self.tasks: dict[int, Task] = {}
         self._next_id = 0
         self._kind_counts: dict[str, int] = {kind: 0 for kind in TASK_KINDS}

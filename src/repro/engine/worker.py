@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.bdd.transfer import PortableDag, import_dag
+from repro.engine.faults import FaultSpec, perform_fault
 
 if TYPE_CHECKING:  # pragma: no cover - type-only
     from repro.mapping.flow import FlowConfig, GroupRecord
@@ -38,11 +39,14 @@ class GroupPayload:
             in the group's support union.
         config: the flow configuration (the worker normalizes it to
             serial/one-job itself).
+        fault: planned fault to perform at task entry (fault-injection
+            harness only; see :mod:`repro.engine.faults`).
     """
 
     dag: PortableDag
     level_signals: dict[int, str]
     config: "FlowConfig"
+    fault: FaultSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,15 @@ def run_group(payload: GroupPayload) -> GroupResult:
     from repro.engine.tasks import TaskGraph
     from repro.network.network import Network
 
-    config = replace(payload.config, jobs=1, executor="serial")
+    perform_fault(payload.fault, in_worker=True)
+    config = replace(
+        payload.config,
+        jobs=1,
+        executor="serial",
+        fault_plan=None,
+        checkpoint_path=None,
+        resume_from=None,
+    )
     bdd = BDD()
     roots = import_dag(bdd, payload.dag)
 

@@ -46,6 +46,72 @@ class VerificationError(ReproError):
         self.counterexample = counterexample
 
 
+class FaultInjected(ReproError):
+    """A planned fault from :mod:`repro.engine.faults` fired.
+
+    Raised inside a worker (``drop`` faults, the parent-side form of
+    ``kill``) or in the coordinator (``abort`` faults, which simulate the
+    parent dying right after a checkpoint flush).  Never raised unless a
+    fault plan was explicitly configured.
+
+    Attributes:
+        kind: the fault kind that fired (``kill``/``drop``/``abort``).
+        group: submission ordinal of the targeted group.
+    """
+
+    def __init__(self, kind: str, group: int) -> None:
+        super().__init__(f"injected fault: {kind} on group {group}")
+        self.kind = kind
+        self.group = group
+
+    def __reduce__(self):
+        # Exceptions pickle as (cls, self.args) by default; args holds the
+        # formatted message, not (kind, group), so a drop fault crossing
+        # the process-pool boundary would fail to unpickle in the pool's
+        # result thread -- which *breaks the pool* instead of failing one
+        # task.
+        return (FaultInjected, (self.kind, self.group))
+
+
+class GroupFailedError(ReproError):
+    """One output group failed permanently despite retries and degradation.
+
+    Raised by the process executor after a group exhausted its retry
+    budget and (when enabled) the serial in-parent fallback also failed.
+    The batch layer catches it per circuit so one poisoned circuit cannot
+    abort the whole batch (see ``docs/RELIABILITY.md``).
+
+    Attributes:
+        group: submission ordinal of the failed group.
+        failures: structured per-attempt failure records, each a dict with
+            ``kind``/``group``/``attempt``/``error``/``seconds`` entries.
+    """
+
+    def __init__(self, group: int, failures: list[dict]) -> None:
+        last = failures[-1]["error"] if failures else "unknown"
+        super().__init__(
+            f"group {group} failed permanently after "
+            f"{len(failures)} attempt(s): {last}"
+        )
+        self.group = group
+        self.failures = failures
+
+    def __reduce__(self):
+        # Reconstruct from (group, failures), not the formatted message
+        # (see FaultInjected.__reduce__).
+        return (GroupFailedError, (self.group, self.failures))
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file cannot be used to resume the current run.
+
+    Raised when the file is unreadable, carries an unknown schema, or was
+    written by a run with an incompatible flow configuration (the config
+    digest differs) -- see ``docs/RELIABILITY.md`` for the compatibility
+    rules.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A traced span blew past its soft resource budget.
 
@@ -68,3 +134,8 @@ class BudgetExceeded(ReproError):
         self.metric = metric
         self.limit = limit
         self.actual = actual
+
+    def __reduce__(self):
+        # Reconstructible across process boundaries (see
+        # FaultInjected.__reduce__).
+        return (BudgetExceeded, (self.span, self.metric, self.limit, self.actual))

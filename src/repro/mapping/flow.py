@@ -33,6 +33,7 @@ from typing import Literal
 from repro import observe
 from repro.bdd.manager import FALSE, TRUE
 from repro.engine import EXECUTORS, Engine, EngineStats
+from repro.engine.faults import FaultPlan
 from repro.engine.policies import POLICIES
 from repro.imodec.lmax import TieBreak
 from repro.mapping.lut import check_k_feasible
@@ -64,6 +65,16 @@ class FlowConfig:
     ladder_cap: int = 12  # hard ceiling of the bound-size ladder
     peel_rounds: int = 3  # lone-output peel rounds per vector
 
+    # -- reliability (process executor; see docs/RELIABILITY.md) --------
+    task_timeout: float | None = None  # per-group wall-clock ceiling (s)
+    task_retries: int = 2  # retries per group after the first failure
+    retry_backoff: float = 0.05  # base of the exponential retry backoff (s)
+    degrade_to_serial: bool = True  # failing groups fall back in-parent
+    fault_plan: FaultPlan | None = None  # deterministic fault injection
+    checkpoint_path: str | None = None  # write completed groups here
+    checkpoint_every: int = 1  # flush period, in merged groups
+    resume_from: str | None = None  # replay a checkpoint file
+
     def __post_init__(self) -> None:
         if self.k < 3:
             raise ValueError("k < 3 cannot host the Shannon fallback mux")
@@ -79,6 +90,14 @@ class FlowConfig:
             raise ValueError("ladder_cap below k leaves no ladder at all")
         if self.peel_rounds < 0:
             raise ValueError("peel_rounds must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass

@@ -34,6 +34,7 @@ from repro.observe.report import (
     ReportSchemaError,
     SCHEMA_ID,
     SCHEMA_ID_V1,
+    SCHEMA_ID_V2,
     build_report,
     flatten_phases,
     format_tree,
@@ -49,6 +50,7 @@ __all__ = [
     "ReportSchemaError",
     "SCHEMA_ID",
     "SCHEMA_ID_V1",
+    "SCHEMA_ID_V2",
     "Span",
     "Tracer",
     "add",
@@ -56,6 +58,7 @@ __all__ = [
     "checkpoint",
     "current",
     "enabled",
+    "failure",
     "flatten_phases",
     "format_tree",
     "gauge",
@@ -123,6 +126,13 @@ def gauge(name: str, value: int | float) -> None:
     tracer = _TRACER.get()
     if tracer is not None:
         tracer.gauge(name, value)
+
+
+def failure(**fields: int | float | str) -> None:
+    """Record a structured task-failure event (no-op when disabled)."""
+    tracer = _TRACER.get()
+    if tracer is not None:
+        tracer.failure(**fields)
 
 
 def watch(bdd) -> None:

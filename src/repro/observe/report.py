@@ -2,18 +2,20 @@
 
 A run report is the JSON serialization of a :class:`repro.observe.Tracer`
 span tree plus run metadata.  The format is versioned
-(``repro-run-report/2``) and validated by :func:`validate_report` -- a
+(``repro-run-report/3``) and validated by :func:`validate_report` -- a
 dependency-free structural checker the CI smoke runs against every emitted
-report (``python -m repro.observe out.json``).  Version 1 reports (without
-the ``engine`` section) are still accepted by the validator.
+report (``python -m repro.observe out.json``).  Version 1 (no ``engine``
+section) and version 2 (no ``failures`` array) reports are still accepted
+by the validator.
 
 Schema (all times in seconds, all counters numeric)::
 
     {
-      "schema": "repro-run-report/2",
+      "schema": "repro-run-report/3",
       "total_seconds": <float>,          # sum of top-level span times
       "meta": {<str>: <scalar>, ...},    # free-form run metadata
       "engine": {<str>: <scalar>, ...},  # optional: task-graph engine stats
+      "failures": [<failure>, ...],      # optional: task-failure events
       "spans": [<span>, ...]             # top-level spans in open order
     }
     <span> = {
@@ -23,11 +25,17 @@ Schema (all times in seconds, all counters numeric)::
       "counters": {<str>: <number>, ...},
       "children": [<span>, ...]
     }
+    <failure> = {"kind": <str>, <str>: <scalar>, ...}
 
 The ``engine`` section (new in version 2) is a flat object of scalars
 describing the :mod:`repro.engine` run: the executor taken, worker count,
-per-kind task counts and the queue-depth high-water mark (see
-``docs/ARCHITECTURE.md``).
+per-kind task counts, the queue-depth high-water mark, and -- new in
+version 3 -- the reliability counters of the fault-tolerant executor
+(retries, timeouts, degradations, checkpoint activity; see
+``docs/RELIABILITY.md``).  The ``failures`` array (new in version 3)
+holds one structured record per failed task attempt, as collected by
+:meth:`repro.observe.Tracer.failure`; each record carries at least a
+``kind`` string (``timeout`` / ``worker-crash`` / ``fault`` / ...).
 
 :func:`format_tree` renders the same tree for humans (the CLI's
 ``--trace``).
@@ -40,8 +48,9 @@ from typing import Any
 
 from repro.observe.tracer import Span, Tracer
 
-SCHEMA_ID = "repro-run-report/2"
-#: Previous schema version, still accepted by :func:`validate_report`.
+SCHEMA_ID = "repro-run-report/3"
+#: Previous schema versions, still accepted by :func:`validate_report`.
+SCHEMA_ID_V2 = "repro-run-report/2"
 SCHEMA_ID_V1 = "repro-run-report/1"
 
 
@@ -68,7 +77,8 @@ def build_report(
 
     ``engine`` is the optional flat scalar object describing a task-graph
     engine run (``repro.engine``); pass e.g.
-    ``FlowResult.engine_stats.as_dict()``.
+    ``FlowResult.engine_stats.as_dict()``.  Task-failure events recorded
+    on the tracer surface as the top-level ``failures`` array.
     """
     spans = [_span_payload(c) for c in tracer.root.children.values()]
     payload = {
@@ -79,6 +89,8 @@ def build_report(
     }
     if engine is not None:
         payload["engine"] = dict(engine)
+    if tracer.failures:
+        payload["failures"] = [dict(f) for f in tracer.failures]
     return payload
 
 
@@ -136,10 +148,11 @@ def validate_report(payload: Any) -> dict[str, Any]:
     if not isinstance(payload, dict):
         _fail("$", "report must be an object")
     schema = payload.get("schema")
-    if schema not in (SCHEMA_ID, SCHEMA_ID_V1):
+    if schema not in (SCHEMA_ID, SCHEMA_ID_V2, SCHEMA_ID_V1):
         _fail(
             "$.schema",
-            f"expected {SCHEMA_ID!r} or {SCHEMA_ID_V1!r}, got {schema!r}",
+            f"expected {SCHEMA_ID!r}, {SCHEMA_ID_V2!r} or {SCHEMA_ID_V1!r}, "
+            f"got {schema!r}",
         )
     required = {"schema", "total_seconds", "meta", "spans"}
     missing = required - payload.keys()
@@ -147,12 +160,32 @@ def validate_report(payload: Any) -> dict[str, Any]:
         _fail("$", f"missing keys {sorted(missing)}")
     if "engine" in payload:
         if schema == SCHEMA_ID_V1:
-            _fail("$.engine", "engine section requires schema repro-run-report/2")
+            _fail(
+                "$.engine",
+                "engine section requires schema repro-run-report/2 or newer",
+            )
         if not isinstance(payload["engine"], dict):
             _fail("$.engine", "must be an object")
         for key, value in payload["engine"].items():
             if not isinstance(key, str) or not isinstance(value, _SCALAR):
                 _fail("$.engine", f"entry {key!r} must map a string to a scalar")
+    if "failures" in payload:
+        if schema != SCHEMA_ID:
+            _fail(
+                "$.failures",
+                "failures array requires schema repro-run-report/3",
+            )
+        if not isinstance(payload["failures"], list):
+            _fail("$.failures", "must be an array")
+        for i, event in enumerate(payload["failures"]):
+            path = f"$.failures/{i}"
+            if not isinstance(event, dict):
+                _fail(path, "failure event must be an object")
+            if not isinstance(event.get("kind"), str) or not event["kind"]:
+                _fail(path, "failure event needs a non-empty 'kind' string")
+            for key, value in event.items():
+                if not isinstance(key, str) or not isinstance(value, _SCALAR):
+                    _fail(path, f"entry {key!r} must map a string to a scalar")
     total = payload["total_seconds"]
     if not isinstance(total, (int, float)) or isinstance(total, bool) or total < 0:
         _fail("$.total_seconds", "must be a non-negative number")

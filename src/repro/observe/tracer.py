@@ -110,6 +110,7 @@ class Tracer:
     def __init__(self, budgets: dict[str, Budget] | None = None) -> None:
         self.root = Span("run")
         self.budgets: dict[str, Budget] = dict(budgets or {})
+        self.failures: list[dict[str, int | float | str]] = []
         self._stack: list[Span] = [self.root]
         self._watched: list = []  # BDD managers
 
@@ -183,6 +184,19 @@ class Tracer:
     def gauge(self, name: str, value: int | float) -> None:
         """Record a maximum on the innermost open span."""
         self._stack[-1].gauge(name, value)
+
+    def failure(self, **fields: int | float | str) -> None:
+        """Record one structured task-failure event.
+
+        Used by the fault-tolerant process executor for every failed
+        attempt (timeout, worker crash, injected fault, ...).  Events
+        accumulate on the tracer -- not on a span -- and surface as the
+        run report's top-level ``failures`` array
+        (``repro-run-report/3``); a ``task_failures`` counter is bumped
+        on the innermost open span so aggregate views stay cheap.
+        """
+        self.failures.append(dict(fields))
+        self._stack[-1].add("task_failures")
 
     def checkpoint(self) -> None:
         """Enforce the budgets of every open span.

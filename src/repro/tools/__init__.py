@@ -1,0 +1,7 @@
+"""Development-support tools shipped with the package.
+
+These are repo-maintenance utilities, not part of the synthesis flow:
+
+- :mod:`repro.tools.doccheck` -- docstring-coverage gate run in CI
+  (``python -m repro.tools.doccheck``).
+"""

@@ -1,0 +1,163 @@
+"""Checkpoint files: digests, round-trips, atomic writes, resume lookup."""
+
+import json
+
+import pytest
+
+from repro.bdd.transfer import PortableDag
+from repro.engine.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpointer,
+    config_digest,
+    load_checkpoint,
+    payload_fingerprint,
+    result_from_json,
+    result_to_json,
+)
+from repro.engine.worker import GroupPayload, GroupResult, NodeSpec
+from repro.errors import CheckpointError
+from repro.mapping.flow import FlowConfig, GroupRecord
+
+
+def sample_result() -> GroupResult:
+    return GroupResult(
+        nodes=(
+            NodeSpec("L0", ("a", "b"), 2, ((0b11, 0b01), (0b10, 0b00))),
+            NodeSpec("const1", (), 0, (), constant=True),
+        ),
+        outputs=("L0", "const1"),
+        records=(GroupRecord(2, 3, 4, 5),),
+        kind_counts={"decompose-vector": 1, "emit-lut": 2},
+    )
+
+
+def sample_payload(config: FlowConfig) -> GroupPayload:
+    return GroupPayload(
+        dag=PortableDag(
+            var_names=("a", "b"),
+            nodes=((0, 1, -1),),
+            roots=(2,),
+        ),
+        level_signals={0: "a", 1: "b"},
+        config=config,
+    )
+
+
+class TestConfigDigest:
+    def test_non_semantic_knobs_do_not_change_the_digest(self):
+        base = config_digest(FlowConfig())
+        assert config_digest(FlowConfig(jobs=8, executor="process")) == base
+        assert config_digest(FlowConfig(task_retries=9)) == base
+        assert config_digest(FlowConfig(checkpoint_path="x.json")) == base
+        assert config_digest(FlowConfig(resume_from="x.json")) == base
+
+    def test_semantic_knobs_change_the_digest(self):
+        base = config_digest(FlowConfig())
+        assert config_digest(FlowConfig(k=4)) != base
+        assert config_digest(FlowConfig(mode="single")) != base
+        assert config_digest(FlowConfig(strict=True)) != base
+
+
+class TestResultRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        result = sample_result()
+        # Through real JSON text, as the file format would.
+        blob = json.dumps(result_to_json(result))
+        back = result_from_json(json.loads(blob))
+        assert back.nodes == result.nodes
+        assert back.outputs == result.outputs
+        assert [vars(r) for r in back.records] == [
+            vars(r) for r in result.records
+        ]
+        assert back.kind_counts == result.kind_counts
+
+    def test_fingerprint_tracks_the_functions(self):
+        config = FlowConfig()
+        a = payload_fingerprint(sample_payload(config))
+        changed = GroupPayload(
+            dag=PortableDag(
+                var_names=("a", "b"),
+                nodes=((0, 1, -2),),
+                roots=(2,),
+            ),
+            level_signals={0: "a", 1: "b"},
+            config=config,
+        )
+        assert payload_fingerprint(changed) != a
+
+    def test_fingerprint_ignores_the_config(self):
+        # Config compatibility is the file-level digest's job.
+        a = payload_fingerprint(sample_payload(FlowConfig()))
+        b = payload_fingerprint(sample_payload(FlowConfig(k=4)))
+        assert a == b
+
+
+class TestCheckpointerAndLoad:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        config = FlowConfig(executor="process", jobs=2)
+        ck = Checkpointer(path, config_digest(config), every=1)
+        ck.record(0, "fp0", sample_result())
+        ck.close()
+        state = load_checkpoint(path, config)
+        assert len(state) == 1
+        assert state.lookup(0, "fp0").outputs == ("L0", "const1")
+
+    def test_flush_period_batches_writes(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpointer(str(path), "digest", every=3)
+        ck.record(0, "fp0", sample_result())
+        ck.record(1, "fp1", sample_result())
+        assert not path.exists()  # below the period: nothing on disk yet
+        ck.record(2, "fp2", sample_result())
+        assert path.exists()
+        ck.close()
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == CHECKPOINT_SCHEMA
+        assert [g["ordinal"] for g in payload["groups"]] == [0, 1, 2]
+
+    def test_stale_fingerprint_is_skipped(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        config = FlowConfig()
+        ck = Checkpointer(path, config_digest(config), every=1)
+        ck.record(0, "fp0", sample_result())
+        ck.close()
+        state = load_checkpoint(path, config)
+        assert state.lookup(0, "DIFFERENT") is None
+        assert state.lookup(7, "fp0") is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.json"), FlowConfig())
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"schema": "something/9", "groups": []}))
+        with pytest.raises(CheckpointError, match="expected schema"):
+            load_checkpoint(str(path), FlowConfig())
+
+    def test_config_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ck = Checkpointer(path, config_digest(FlowConfig(k=5)), every=1)
+        ck.record(0, "fp0", sample_result())
+        ck.close()
+        with pytest.raises(CheckpointError, match="different flow"):
+            load_checkpoint(path, FlowConfig(k=4))
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        config = FlowConfig()
+        path.write_text(json.dumps({
+            "schema": CHECKPOINT_SCHEMA,
+            "config_digest": config_digest(config),
+            "groups": [{"ordinal": 0}],
+        }))
+        with pytest.raises(CheckpointError, match="malformed"):
+            load_checkpoint(str(path), config)
+
+    def test_no_leftover_temp_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpointer(str(path), "digest", every=1)
+        ck.record(0, "fp0", sample_result())
+        ck.close()
+        assert list(tmp_path.iterdir()) == [path]

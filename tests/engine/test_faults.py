@@ -1,0 +1,140 @@
+"""The deterministic fault-injection harness (repro.engine.faults)."""
+
+import pytest
+
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    NO_FAULTS,
+    ResolvedFaults,
+    parse_fault_plan,
+    perform_fault,
+)
+from repro.errors import FaultInjected
+
+
+class TestFaultSpec:
+    def test_fires_on_listed_attempts_only(self):
+        spec = FaultSpec("drop", group=3, attempts=(0, 2))
+        assert spec.fires_on(0)
+        assert not spec.fires_on(1)
+        assert spec.fires_on(2)
+
+    def test_attempts_none_is_permanent(self):
+        spec = FaultSpec("drop", group=0, attempts=None)
+        assert all(spec.fires_on(a) for a in range(10))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode", group=0)
+
+
+class TestResolvedFaults:
+    def test_lookup_by_ordinal_and_attempt(self):
+        faults = ResolvedFaults((
+            FaultSpec("drop", group=1, attempts=(1,)),
+            FaultSpec("delay", group=2, seconds=0.01),
+        ))
+        assert faults.fault_for(1, 0) is None
+        assert faults.fault_for(1, 1).kind == "drop"
+        assert faults.fault_for(2, 0).kind == "delay"
+        assert faults.fault_for(0, 0) is None
+
+    def test_abort_is_separate_from_worker_faults(self):
+        faults = ResolvedFaults((FaultSpec("abort", group=2),))
+        assert faults.fault_for(2, 0) is None
+        assert faults.abort_after(2).kind == "abort"
+        assert faults.abort_after(1) is None
+
+    def test_no_faults_is_empty(self):
+        assert NO_FAULTS.fault_for(0, 0) is None
+        assert NO_FAULTS.abort_after(0) is None
+
+
+class TestFaultPlan:
+    def test_explicit_specs_pass_through(self):
+        plan = FaultPlan(specs=(FaultSpec("kill", group=0),))
+        resolved = plan.resolve(4)
+        assert resolved.fault_for(0, 0).kind == "kill"
+
+    def test_seeded_random_is_deterministic(self):
+        plan = FaultPlan(seed=7, kills=2, delays=1)
+        a = plan.resolve(10)
+        b = plan.resolve(10)
+        hits_a = [(o, a.fault_for(o, 0).kind)
+                  for o in range(10) if a.fault_for(o, 0)]
+        hits_b = [(o, b.fault_for(o, 0).kind)
+                  for o in range(10) if b.fault_for(o, 0)]
+        assert hits_a == hits_b
+        assert sum(1 for _, k in hits_a if k == "kill") == 2
+        assert sum(1 for _, k in hits_a if k == "delay") == 1
+
+    def test_different_seeds_differ(self):
+        counts = {
+            seed: tuple(
+                o for o in range(50)
+                if FaultPlan(seed=seed, kills=3).resolve(50).fault_for(o, 0)
+            )
+            for seed in (0, 1)
+        }
+        assert counts[0] != counts[1]
+
+    def test_out_of_range_spec_never_hits_real_groups(self):
+        plan = FaultPlan(specs=(FaultSpec("drop", group=99),))
+        resolved = plan.resolve(3)
+        assert all(resolved.fault_for(o, 0) is None for o in range(3))
+
+
+class TestParseFaultPlan:
+    def test_explicit_grammar(self):
+        plan = parse_fault_plan("kill@0,drop@2#1,delay=0.5@1#all,abort@3")
+        kinds = {(s.kind, s.group): s for s in plan.specs}
+        assert kinds[("kill", 0)].attempts == (0,)
+        assert kinds[("drop", 2)].attempts == (1,)
+        assert kinds[("delay", 1)].attempts is None
+        assert kinds[("delay", 1)].seconds == 0.5
+        assert ("abort", 3) in kinds
+
+    def test_seeded_grammar(self):
+        plan = parse_fault_plan("seed=9,kills=2,drops=1,delay-seconds=0.25")
+        assert plan.seed == 9
+        assert plan.kills == 2
+        assert plan.drops == 1
+        assert plan.delay_seconds == 0.25
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_plan("frobnicate@0")
+        with pytest.raises(ValueError):
+            parse_fault_plan("kill")
+
+
+class TestPerformFault:
+    def test_none_is_a_no_op(self):
+        perform_fault(None, in_worker=True)
+
+    def test_drop_raises(self):
+        with pytest.raises(FaultInjected, match="drop"):
+            perform_fault(FaultSpec("drop", group=1), in_worker=True)
+
+    def test_delay_returns(self):
+        perform_fault(FaultSpec("delay", group=0, seconds=0.0), in_worker=True)
+
+    def test_kill_in_parent_raises_instead_of_exiting(self):
+        # os._exit in the coordinator would take the whole run down; the
+        # parent-side form must degrade to a raised FaultInjected.
+        with pytest.raises(FaultInjected, match="kill"):
+            perform_fault(FaultSpec("kill", group=0), in_worker=False)
+
+    def test_kind_registry(self):
+        assert set(FAULT_KINDS) == {"kill", "drop", "delay", "abort"}
+
+    def test_fault_injected_survives_pickling(self):
+        # A drop fault crosses the process-pool boundary as a pickled
+        # exception; a reconstruction failure would break the whole pool.
+        import pickle
+
+        exc = pickle.loads(pickle.dumps(FaultInjected("drop", 3)))
+        assert isinstance(exc, FaultInjected)
+        assert (exc.kind, exc.group) == ("drop", 3)

@@ -1,0 +1,230 @@
+"""Fault tolerance of the process executor.
+
+Property tests of the ISSUE's acceptance bar: a process run with injected
+faults (worker kills, dropped results, delays, timeouts) must produce BLIF
+byte-identical to a fault-free serial run; an interrupted checkpointed run
+must resume to the same bytes; a crashing circuit in a batch must fail
+alone.
+"""
+
+import pytest
+
+from repro.algebraic.rugged import rugged
+from repro.benchcircuits.registry import get_circuit
+from repro.engine import synthesize_batch
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.errors import FaultInjected, GroupFailedError, ReproError
+from repro.io.blif import write_blif
+from repro.mapping.flow import FlowConfig, synthesize
+from tests.mapping.test_flow import ones_count_network
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Start every test on a fresh worker pool.
+
+    A kill fault is noticed by the pool's management thread asynchronously,
+    so a pool left behind by a previous test may break *later* -- which the
+    executor recovers from, but the recovery inflates this test's retry and
+    crash counters nondeterministically.
+    """
+    from repro.engine.executors import _reset_pool
+
+    _reset_pool()
+    yield
+
+
+def bench(name: str, make_rugged: bool = False):
+    net = get_circuit(name).build()
+    if make_rugged:
+        rugged(net)
+    return net
+
+
+def process_config(**kwargs) -> FlowConfig:
+    return FlowConfig(
+        executor="process", jobs=2, retry_backoff=0.0, **kwargs
+    )
+
+
+class TestFaultEquivalence:
+    """Seeded faults never change the mapped network, only its wall-clock."""
+
+    @pytest.mark.parametrize("name,make_rugged", [
+        ("rd53", False),     # 3 groups
+        ("misex1", True),    # 4 groups, through the rugged script
+        ("5xp1", True),      # 6 groups, through the rugged script
+    ])
+    def test_seeded_kills_and_delays_are_invisible(self, name, make_rugged):
+        net = bench(name, make_rugged)
+        baseline = synthesize(net, FlowConfig())
+        plan = FaultPlan(seed=3, kills=2, delays=1, delay_seconds=0.01)
+        faulty = synthesize(net, process_config(fault_plan=plan))
+        assert write_blif(faulty.network) == write_blif(baseline.network)
+        stats = faulty.engine_stats
+        assert stats.faults_injected > 0
+        assert stats.tasks_retried > 0
+
+    def test_drop_fault_retries_to_the_same_bytes(self):
+        net = bench("rd53")
+        baseline = synthesize(net, FlowConfig())
+        plan = FaultPlan(specs=(FaultSpec("drop", group=1),))
+        faulty = synthesize(net, process_config(fault_plan=plan))
+        assert write_blif(faulty.network) == write_blif(baseline.network)
+        assert faulty.engine_stats.tasks_retried == 1
+
+    def test_timeout_retries_to_the_same_bytes(self):
+        net = bench("rd53")
+        baseline = synthesize(net, FlowConfig())
+        plan = FaultPlan(specs=(
+            FaultSpec("delay", group=1, seconds=5.0),
+        ))
+        faulty = synthesize(
+            net, process_config(fault_plan=plan, task_timeout=0.25)
+        )
+        assert write_blif(faulty.network) == write_blif(baseline.network)
+        assert faulty.engine_stats.task_timeouts >= 1
+
+    def test_exhausted_retries_degrade_to_serial(self):
+        net = bench("rd53")
+        baseline = synthesize(net, FlowConfig())
+        # Fails both pool attempts (0 and 1 = task_retries), but not the
+        # in-parent degraded attempt -- a truly permanent fault (attempts
+        # = None) fails even the serial fallback, by design.
+        plan = FaultPlan(specs=(
+            FaultSpec("drop", group=1, attempts=(0, 1)),
+        ))
+        faulty = synthesize(
+            net, process_config(fault_plan=plan, task_retries=1)
+        )
+        assert write_blif(faulty.network) == write_blif(baseline.network)
+        stats = faulty.engine_stats
+        assert stats.groups_degraded == 1
+        assert stats.tasks_retried == 1
+        assert stats.tasks_offloaded < stats.tasks_total
+
+    def test_permanent_failure_without_degradation_raises(self):
+        net = bench("rd53")
+        plan = FaultPlan(specs=(
+            FaultSpec("drop", group=1, attempts=None),
+        ))
+        with pytest.raises(GroupFailedError, match="group 1"):
+            synthesize(net, process_config(
+                fault_plan=plan, task_retries=1, degrade_to_serial=False,
+            ))
+
+
+class TestCheckpointResume:
+    def test_aborted_run_resumes_to_the_same_bytes(self, tmp_path):
+        net = bench("rd53")
+        baseline = synthesize(net, FlowConfig())
+        ck = str(tmp_path / "run.ckpt")
+
+        # The coordinator "dies" right after merging (and checkpointing)
+        # group 1; groups 0 and 1 are on disk, group 2 is not.
+        plan = FaultPlan(specs=(FaultSpec("abort", group=1),))
+        with pytest.raises(FaultInjected, match="abort"):
+            synthesize(net, process_config(
+                fault_plan=plan, checkpoint_path=ck,
+            ))
+
+        resumed = synthesize(net, process_config(resume_from=ck))
+        assert write_blif(resumed.network) == write_blif(baseline.network)
+        assert resumed.engine_stats.checkpoint_replayed == 2
+
+    def test_kill_at_checkpoint_then_resume(self, tmp_path):
+        # A worker kill *and* a coordinator abort in the same run: the
+        # retried group still checkpoints, and the resumed run replays it.
+        net = bench("misex1", make_rugged=True)
+        baseline = synthesize(net, FlowConfig())
+        ck = str(tmp_path / "run.ckpt")
+        plan = FaultPlan(specs=(
+            FaultSpec("kill", group=0),
+            FaultSpec("abort", group=2),
+        ))
+        with pytest.raises(FaultInjected, match="abort"):
+            synthesize(net, process_config(
+                fault_plan=plan, checkpoint_path=ck,
+            ))
+        resumed = synthesize(net, process_config(resume_from=ck))
+        assert write_blif(resumed.network) == write_blif(baseline.network)
+        assert resumed.engine_stats.checkpoint_replayed == 3
+
+    def test_completed_checkpoint_replays_everything(self, tmp_path):
+        net = bench("rd53")
+        ck = str(tmp_path / "run.ckpt")
+        first = synthesize(net, process_config(checkpoint_path=ck))
+        assert first.engine_stats.checkpoint_saved == 3
+        resumed = synthesize(net, process_config(resume_from=ck))
+        assert write_blif(resumed.network) == write_blif(first.network)
+        stats = resumed.engine_stats
+        assert stats.checkpoint_replayed == 3
+        # Replayed groups still fold their recorded task counts in, but no
+        # worker ever ran: nothing failed, nothing retried.
+        assert stats.tasks_retried == 0
+        assert stats.worker_crashes == 0
+
+
+class TestBatchIsolation:
+    """One crashing circuit must not take its batch siblings down."""
+
+    def _networks(self):
+        return [bench("rd53"), ones_count_network(6, 2),
+                bench("misex1", make_rugged=True)]
+
+    def test_failed_circuit_is_isolated(self):
+        nets = self._networks()
+        config = FlowConfig(k=4)
+        solo = [synthesize(net, config) for net in nets]
+
+        # rd53 owns batch ordinals 0..(its group count - 1); a permanent
+        # fault on ordinal 0 with degradation off kills only rd53.
+        plan = FaultPlan(specs=(
+            FaultSpec("drop", group=0, attempts=None),
+        ))
+        results = synthesize_batch(
+            nets,
+            FlowConfig(
+                k=4, executor="process", jobs=2, retry_backoff=0.0,
+                task_retries=1, degrade_to_serial=False, fault_plan=plan,
+            ),
+            fail_fast=False,
+        )
+        assert isinstance(results[0], GroupFailedError)
+        for i in (1, 2):
+            assert not isinstance(results[i], ReproError)
+            assert write_blif(results[i].network) == write_blif(
+                solo[i].network
+            )
+
+    def test_fail_fast_still_raises(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("drop", group=0, attempts=None),
+        ))
+        with pytest.raises(GroupFailedError):
+            synthesize_batch(
+                self._networks(),
+                FlowConfig(
+                    k=4, executor="process", jobs=2, retry_backoff=0.0,
+                    task_retries=1, degrade_to_serial=False,
+                    fault_plan=plan,
+                ),
+            )
+
+    def test_worker_kill_in_one_circuit_spares_the_others(self):
+        nets = self._networks()
+        config = FlowConfig(k=4)
+        solo = [synthesize(net, config) for net in nets]
+        # A kill breaks the shared pool; the executor rebuilds it and every
+        # circuit -- including the faulted one -- completes identically.
+        plan = FaultPlan(specs=(FaultSpec("kill", group=0),))
+        results = synthesize_batch(
+            nets,
+            FlowConfig(
+                k=4, executor="process", jobs=2, retry_backoff=0.0,
+                fault_plan=plan,
+            ),
+            fail_fast=False,
+        )
+        for a, b in zip(solo, results):
+            assert write_blif(a.network) == write_blif(b.network)

@@ -200,7 +200,7 @@ class TestExecutorFlag:
         report_path = tmp_path / "run.json"
         assert main(["synth", str(pla_file), "--report", str(report_path)]) == 0
         payload = validate_report(json.loads(report_path.read_text()))
-        assert payload["schema"] == "repro-run-report/2"
+        assert payload["schema"] == "repro-run-report/3"
         engine = payload["engine"]
         assert engine["executor"] == "serial"
         assert engine["tasks_total"] > 0
@@ -240,3 +240,93 @@ class TestBatch:
         payload = validate_report(json.loads(report_path.read_text()))
         assert payload["engine"]["tasks_total"] > 0
         assert payload["meta"]["verified"] is True
+
+
+@pytest.fixture
+def rd53_file(tmp_path):
+    """rd53 as a BLIF file: 3 output groups under k=5, so the process
+    executor actually pools (and faults actually fire)."""
+    from repro.benchcircuits.registry import get_circuit
+    from repro.io.blif import write_blif
+
+    path = tmp_path / "rd53.blif"
+    path.write_text(write_blif(get_circuit("rd53").build()))
+    return path
+
+
+class TestReliabilityCli:
+    def test_injected_faults_leave_the_blif_byte_identical(
+        self, rd53_file, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.blif"
+        faulty = tmp_path / "faulty.blif"
+        assert main(["synth", str(rd53_file), "-o", str(serial)]) == 0
+        rc = main(["synth", str(rd53_file), "--executor", "process",
+                   "--jobs", "2", "--inject-faults", "kill@0,drop@1",
+                   "--report", str(tmp_path / "r.json"),
+                   "-o", str(faulty)])
+        assert rc == 0
+        assert faulty.read_text() == serial.read_text()
+        payload = validate_report(
+            json.loads((tmp_path / "r.json").read_text())
+        )
+        assert payload["engine"]["faults_injected"] >= 2
+        assert payload["failures"]  # structured per-attempt records
+
+    def test_inject_faults_needs_the_process_executor(self, rd53_file, capsys):
+        rc = main(["synth", str(rd53_file), "--inject-faults", "kill@0"])
+        assert rc == 2
+        assert "--executor process" in capsys.readouterr().err
+
+    def test_checkpoint_needs_the_process_executor(self, rd53_file, capsys):
+        rc = main(["synth", str(rd53_file), "--checkpoint", "ck.json"])
+        assert rc == 2
+
+    def test_abort_checkpoint_resume_round_trip(
+        self, rd53_file, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.blif"
+        assert main(["synth", str(rd53_file), "-o", str(serial)]) == 0
+
+        ck = tmp_path / "run.ckpt"
+        rc = main(["synth", str(rd53_file), "--executor", "process",
+                   "--jobs", "2", "--checkpoint", str(ck),
+                   "--inject-faults", "abort@1"])
+        assert rc == 1  # the simulated coordinator death
+        assert ck.exists()
+
+        resumed = tmp_path / "resumed.blif"
+        rc = main(["synth", str(rd53_file), "--executor", "process",
+                   "--jobs", "2", "--resume", str(ck),
+                   "-o", str(resumed)])
+        assert rc == 0
+        assert resumed.read_text() == serial.read_text()
+
+    def test_resume_under_other_knobs_exits_2(
+        self, rd53_file, tmp_path, capsys
+    ):
+        ck = tmp_path / "run.ckpt"
+        main(["synth", str(rd53_file), "--executor", "process",
+              "--jobs", "2", "--checkpoint", str(ck)])
+        rc = main(["synth", str(rd53_file), "--executor", "process",
+                   "--jobs", "2", "--resume", str(ck), "--k", "4"])
+        assert rc == 2
+        assert "different flow" in capsys.readouterr().err
+
+    def test_batch_isolates_a_crashing_circuit(
+        self, rd53_file, pla_file, tmp_path, capsys
+    ):
+        # A permanent fault (#all fires on the degraded attempt too) on
+        # ordinal 0 kills only rd53; the second circuit still maps.
+        out_dir = tmp_path / "mapped"
+        rc = main(["batch", str(rd53_file), str(pla_file),
+                   "--executor", "process", "--jobs", "2",
+                   "--task-retries", "1",
+                   "--inject-faults", "drop@0#all",
+                   "-o", str(out_dir)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "rd53: FAILED" in out
+        assert "design: " in out and "verified" in out
+        written = [p.name for p in out_dir.glob("*.blif")]
+        assert written == ["design.blif"]
