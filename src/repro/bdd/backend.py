@@ -1,0 +1,83 @@
+"""The BDD backend seam: named, pluggable manager implementations.
+
+Mirrors the executor seam in :mod:`repro.engine.executors`: a registry of
+named constructors, a :func:`make_manager` factory that flow code calls
+instead of instantiating :class:`repro.bdd.manager.BDD` directly, and a
+config/CLI knob (``FlowConfig.bdd_backend`` / ``--bdd-backend``) that picks
+the implementation.
+
+Two backends ship:
+
+- ``object`` -- :class:`repro.bdd.manager.BDD`, the dict-backed reference
+  implementation (the oracle for differential tests);
+- ``arena`` -- :class:`repro.bdd.arena.ArenaBDD`, the flat-numpy arena with
+  iterative integer kernels (requires :mod:`numpy`; imported lazily so the
+  rest of the package works without it).
+
+Both expose the same manager API and identical complement-edge canonical
+form, so any flow runs on either and emits byte-identical BLIF; only raw
+node numbers (and speed) differ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bdd.manager import BDD
+
+#: Known backend names, in documentation order.
+BACKEND_NAMES = ("object", "arena")
+
+#: Default backend used when no configuration says otherwise.
+DEFAULT_BACKEND = "object"
+
+
+class BackendUnavailable(RuntimeError):
+    """A known backend cannot be constructed in this environment.
+
+    Carries a human-readable reason (e.g. numpy missing for ``arena``);
+    the CLI maps it to exit code 2 like any other configuration error.
+    """
+
+
+def _make_object(cache_limit: int | None):
+    if cache_limit is None:
+        return BDD()
+    return BDD(cache_limit)
+
+
+def _make_arena(cache_limit: int | None):
+    try:
+        from repro.bdd.arena import ArenaBDD
+    except ImportError as exc:  # pragma: no cover - numpy is a runtime dep
+        raise BackendUnavailable(
+            "bdd backend 'arena' requires numpy, which is not installed; "
+            "install the package dependencies or use --bdd-backend object"
+        ) from exc
+    return ArenaBDD(cache_limit)
+
+
+_FACTORIES: dict[str, Callable[[int | None], object]] = {
+    "object": _make_object,
+    "arena": _make_arena,
+}
+
+
+def make_manager(backend: str = DEFAULT_BACKEND, cache_limit: int | None = None):
+    """Construct a BDD manager for the named backend.
+
+    Raises ``ValueError`` for unknown names and
+    :class:`BackendUnavailable` when the backend's dependencies are
+    missing (both surface as exit code 2 from the CLI).
+    """
+    factory = _FACTORIES.get(backend)
+    if factory is None:
+        raise ValueError(
+            f"unknown bdd backend {backend!r}; expected one of {BACKEND_NAMES}"
+        )
+    return factory(cache_limit)
+
+
+def backend_of(bdd) -> str:
+    """Name of the backend a manager instance belongs to."""
+    return getattr(bdd, "backend_name", DEFAULT_BACKEND)

@@ -102,6 +102,9 @@ class BDD:
         assert bdd.eval(f, {0: True, 1: False})
     """
 
+    #: Registry name of this implementation (see :mod:`repro.bdd.backend`).
+    backend_name = "object"
+
     def __init__(self, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
         # Parallel node arrays indexed by node index (edge >> 1); slot 0 is
         # the terminal.  Its children point at itself so edge traversal of a
@@ -210,6 +213,19 @@ class BDD:
             self._high.append(high)
             self._unique[key] = node
         return node << 1
+
+    def mk(self, level: int, low: int, high: int) -> int:
+        """Public canonical find-or-create (the transfer/import seam).
+
+        Both backends expose this so :mod:`repro.bdd.transfer` and the
+        reorder rebuilds can materialize nodes without reaching into
+        implementation internals.
+        """
+        return self._mk(level, low, high)
+
+    def clone_empty(self) -> "BDD":
+        """Fresh manager of the same backend and cache sizing (no variables)."""
+        return BDD(self._cache_limit)
 
     def level(self, u: int) -> int:
         """Level of edge ``u`` (``TERMINAL_LEVEL`` for constants)."""

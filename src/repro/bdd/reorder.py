@@ -55,7 +55,9 @@ def rebuild_with_order(src: BDD, roots: Sequence[int], order: Sequence[str]) -> 
     names = [src.var_name(lvl) for lvl in range(src.num_vars)]
     if sorted(order) != sorted(names):
         raise ValueError("order must be a permutation of the manager's variables")
-    dst = BDD()
+    # Rebuild into the same backend as the source so a reordered arena
+    # stays an arena (and its stats stay comparable).
+    dst = src.clone_empty()
     for name in order:
         dst.add_var(name)
     level_map = {src.level_of(name): dst.level_of(name) for name in order}
@@ -76,6 +78,53 @@ def total_size(bdd: BDD, roots: Sequence[int]) -> int:
             stack.append(bdd.low(v))
             stack.append(bdd.high(v))
     return len(seen)
+
+
+class GrowthTrigger:
+    """Node-growth trigger for automatic reordering (off unless armed).
+
+    The engine arms the trigger with the manager's post-build allocation
+    count; :meth:`should_fire` answers whether the manager has since grown
+    past ``factor`` times that baseline.  After a reorder the engine re-arms
+    with the new manager's size, so repeated growth keeps re-triggering.
+    """
+
+    def __init__(self, factor: float = 4.0) -> None:
+        if factor <= 1.0:
+            raise ValueError("reorder factor must exceed 1.0")
+        self.factor = factor
+        self.baseline: int | None = None
+
+    def arm(self, nodes: int) -> None:
+        """Record the reference allocation count (clamped to >= 1)."""
+        self.baseline = max(int(nodes), 1)
+
+    def should_fire(self, nodes: int) -> bool:
+        """True when ``nodes`` crossed ``factor * baseline`` (armed only)."""
+        return self.baseline is not None and nodes >= self.factor * self.baseline
+
+
+def sift_groups(
+    bdd: BDD, groups: Sequence[Sequence[int]], max_passes: int = 1
+) -> tuple[BDD, list[list[int]], dict[int, int]] | None:
+    """Sift over the union of several root lists at once.
+
+    Returns ``(new_bdd, new_groups, level_map)`` with ``level_map`` sending
+    source levels to destination levels, or ``None`` when no better order
+    was found.  The input manager is never mutated, so callers can swap the
+    new manager in atomically (the engine's between-group reorder hook).
+    """
+    flat = [r for g in groups for r in g]
+    new_bdd, new_flat = sift(bdd, flat, max_passes=max_passes)
+    if new_bdd is bdd:
+        return None
+    level_map = {
+        bdd.level_of(new_bdd.var_name(lvl)): lvl
+        for lvl in range(new_bdd.num_vars)
+    }
+    it = iter(new_flat)
+    new_groups = [[next(it) for _ in g] for g in groups]
+    return new_bdd, new_groups, level_map
 
 
 def sift(bdd: BDD, roots: Sequence[int], max_passes: int = 1) -> tuple[BDD, list[int]]:

@@ -52,7 +52,10 @@ def export_dag(bdd: BDD, roots: Sequence[int]) -> PortableDag:
 
     Only the reachable subgraph is exported.  Variable names are exported
     for *all* levels up to the manager's current count so the import side
-    reproduces identical level numbering (levels are positional).
+    reproduces identical level numbering (levels are positional).  ``bdd``
+    may be any backend (the walk uses only the shared manager API), and
+    export/import across *different* backends is exact: both sides share
+    the same canonical form.
     """
     # Map manager node index -> local index (0 = terminal), children first.
     local: dict[int, int] = {0: 0}
@@ -118,7 +121,7 @@ def import_dag(bdd: BDD, dag: PortableDag) -> list[int]:
     for level, low, high in dag.nodes:
         lo = edges[low >> 1] ^ (low & 1)
         hi = edges[high >> 1] ^ (high & 1)
-        # Low edges of exported nodes are regular, so _mk reproduces the
+        # Low edges of exported nodes are regular, so mk reproduces the
         # node without polarity juggling (asserted by the canonicity rule).
-        edges.append(bdd._mk(level, lo, hi))
+        edges.append(bdd.mk(level, lo, hi))
     return [edges[r >> 1] ^ (r & 1) for r in dag.roots]

@@ -23,6 +23,15 @@ Results are identical to per-circuit ``synth`` runs.
 historical recursion order bit-identically; ``process`` maps independent
 output groups in ``--jobs`` worker processes, each on its own BDD manager.
 
+``--bdd-backend`` picks the BDD manager implementation: ``object``
+(default, the reference dict-of-nodes manager) or ``arena`` (a flat numpy
+node store with iterative integer kernels; requires numpy, exit code 2
+when missing).  Both backends are canonical-form identical and emit
+byte-identical BLIF; see ``docs/ENGINE.md``.  ``--auto-reorder`` arms
+growth-triggered variable sifting between output groups (serial executor),
+firing when the manager grows past ``--reorder-factor`` times its
+post-build size.
+
 Observability: ``--report FILE`` writes a machine-readable JSON run report
 (per-phase wall-clock, BDD node and cache deltas, IMODEC iteration counts,
 and the engine's task counters; see ``docs/OBSERVABILITY.md``), ``--trace``
@@ -49,6 +58,7 @@ from pathlib import Path
 
 from repro import observe
 from repro.algebraic.rugged import rugged
+from repro.bdd.backend import BACKEND_NAMES, DEFAULT_BACKEND, BackendUnavailable
 from repro.engine import parse_fault_plan, synthesize_batch
 from repro.errors import BudgetExceeded, CheckpointError, ReproError
 from repro.io.blif import parse_blif, write_blif
@@ -128,6 +138,9 @@ def _make_config(args: argparse.Namespace) -> FlowConfig:
         strict=args.strict,
         jobs=args.jobs,
         executor=args.executor,
+        bdd_backend=args.bdd_backend,
+        auto_reorder=args.auto_reorder,
+        reorder_factor=args.reorder_factor,
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
         fault_plan=fault_plan,
@@ -186,6 +199,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
                     "structural": bool(args.structural),
                     "rugged": bool(args.rugged),
                     "jobs": args.jobs,
+                    "bdd_backend": config.bdd_backend,
                     "luts": result.num_luts,
                     "verified": bool(ok),
                     "wall_clock_seconds": elapsed,
@@ -315,6 +329,17 @@ def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
                           "process fans groups out to worker processes")
     cmd.add_argument("--jobs", type=int, default=1,
                      help="worker processes (engine workers, bound-set scoring)")
+    cmd.add_argument("--bdd-backend", choices=list(BACKEND_NAMES),
+                     default=DEFAULT_BACKEND,
+                     help="BDD manager implementation: object (reference) or "
+                          "arena (flat numpy node store with iterative "
+                          "kernels; same BLIF bytes, faster on large managers)")
+    cmd.add_argument("--auto-reorder", action="store_true",
+                     help="growth-triggered variable sifting between output "
+                          "groups (see --reorder-factor)")
+    cmd.add_argument("--reorder-factor", type=float, default=4.0, metavar="F",
+                     help="auto-reorder trigger: sift when live nodes exceed "
+                          "F times the post-build size (default 4.0)")
     cmd.add_argument("--strict", action="store_true",
                      help="strict (one-code-per-class) decomposition baseline")
     cmd.add_argument("--report", metavar="FILE",
@@ -393,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BackendUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:

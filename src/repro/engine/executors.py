@@ -89,18 +89,85 @@ class SerialExecutor:
     def run_groups(
         self, engine: "Engine", groups: list[list[int]]
     ) -> list[list[str]]:
-        """Drain every group in order on the engine's own context."""
-        return self.drain_groups(engine.emitter, engine.graph, groups)
+        """Drain every group in order on the engine's own context.
+
+        With ``config.auto_reorder`` the manager's growth is checked at
+        every group boundary and a growth past ``config.reorder_factor``
+        times the post-build size triggers a sifting pass over the pending
+        roots (see :func:`repro.bdd.reorder.sift_groups`).
+        """
+        if not engine.config.auto_reorder:
+            return self.drain_groups(engine.emitter, engine.graph, groups)
+        return self._drain_with_reorder(engine, groups)
+
+    def _drain_with_reorder(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        """Group-at-a-time drain with the growth-triggered reorder hook."""
+        from repro.bdd.reorder import GrowthTrigger
+
+        ctx = engine.context
+        trigger = GrowthTrigger(engine.config.reorder_factor)
+        trigger.arm(ctx.bdd.num_nodes)
+        remaining = [list(g) for g in groups]
+        results: list[list[str]] = []
+        for gi in range(len(remaining)):
+            if gi and trigger.should_fire(ctx.bdd.num_nodes):
+                self._reorder_pending(engine, remaining, gi)
+                trigger.arm(ctx.bdd.num_nodes)
+            (signals,) = self.drain_groups(
+                engine.emitter, engine.graph, [remaining[gi]], first_index=gi
+            )
+            results.append(signals)
+        return results
+
+    @staticmethod
+    def _reorder_pending(
+        engine: "Engine", remaining: list[list[int]], gi: int
+    ) -> None:
+        """Sift the pending groups' roots and swap the reordered manager in.
+
+        The emit context's manager reference, the pending root lists and the
+        level-to-signal map are all rewritten consistently; already-emitted
+        groups live only in the LUT network, so dropping their old manager
+        is safe.  A no-improvement sift keeps the current manager.
+        """
+        from repro.bdd.reorder import sift_groups
+
+        ctx = engine.context
+        with observe.span("reorder"):
+            observe.add("reorder_triggers")
+            observe.gauge("reorder_nodes_before", ctx.bdd.num_nodes)
+            sifted = sift_groups(ctx.bdd, remaining[gi:], max_passes=1)
+            if sifted is None:
+                observe.add("reorder_noops")
+                return
+            new_bdd, new_groups, level_map = sifted
+            remaining[gi:] = new_groups
+            remapped = {
+                level_map[lvl]: sig for lvl, sig in ctx.signal_of_level.items()
+            }
+            ctx.signal_of_level.clear()
+            ctx.signal_of_level.update(remapped)
+            ctx.bdd = new_bdd
+            observe.watch(new_bdd)
+            observe.gauge("reorder_nodes_after", new_bdd.num_nodes)
 
     def drain_groups(
         self,
         emitter: VectorEmitter,
         graph: TaskGraph,
         groups: list[list[int]],
+        first_index: int = 0,
     ) -> list[list[str]]:
-        """Static entry point shared with worker processes (no Engine)."""
+        """Static entry point shared with worker processes (no Engine).
+
+        ``first_index`` offsets the ``group<N>`` task labels so a
+        group-at-a-time caller (the auto-reorder drain) keeps the same
+        labels as one whole-list call.
+        """
         results: list[list[str]] = []
-        for gi, f_nodes in enumerate(groups):
+        for gi, f_nodes in enumerate(groups, first_index):
             cache: dict[int, str] = {}
             sink: list = [None] * len(f_nodes)
             root = emitter.vector_task(

@@ -77,7 +77,7 @@ class GroupResult:
 
 def run_group(payload: GroupPayload) -> GroupResult:
     """Map one group on a private manager; the process-pool entry point."""
-    from repro.bdd.manager import BDD
+    from repro.bdd.backend import make_manager
     from repro.engine.emitter import EmitContext, VectorEmitter
     from repro.engine.executors import SerialExecutor
     from repro.engine.policies import make_policy
@@ -93,7 +93,7 @@ def run_group(payload: GroupPayload) -> GroupResult:
         checkpoint_path=None,
         resume_from=None,
     )
-    bdd = BDD()
+    bdd = make_manager(payload.config.bdd_backend)
     roots = import_dag(bdd, payload.dag)
 
     lut = Network("worker")

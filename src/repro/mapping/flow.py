@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Literal
 
 from repro import observe
+from repro.bdd.backend import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.bdd.manager import FALSE, TRUE
 from repro.engine import EXECUTORS, Engine, EngineStats
 from repro.engine.faults import FaultPlan
@@ -64,6 +65,9 @@ class FlowConfig:
     policy: str = "ladder-peel"  # decomposition heuristic (engine.policies)
     ladder_cap: int = 12  # hard ceiling of the bound-size ladder
     peel_rounds: int = 3  # lone-output peel rounds per vector
+    bdd_backend: Literal["object", "arena"] = DEFAULT_BACKEND
+    auto_reorder: bool = False  # growth-triggered sifting between groups
+    reorder_factor: float = 4.0  # trigger: nodes >= factor * post-build size
 
     # -- reliability (process executor; see docs/RELIABILITY.md) --------
     task_timeout: float | None = None  # per-group wall-clock ceiling (s)
@@ -90,6 +94,18 @@ class FlowConfig:
             raise ValueError("ladder_cap below k leaves no ladder at all")
         if self.peel_rounds < 0:
             raise ValueError("peel_rounds must be >= 0")
+        if self.bdd_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown bdd backend {self.bdd_backend!r} "
+                f"(have: {list(BACKEND_NAMES)})"
+            )
+        if self.reorder_factor <= 1.0:
+            raise ValueError("reorder_factor must be > 1.0")
+        if self.auto_reorder and self.executor == "process":
+            raise ValueError(
+                "auto_reorder needs the serial executor (workers map groups "
+                "on private managers with no shared growth to watch)"
+            )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")
         if self.task_retries < 0:
@@ -174,7 +190,7 @@ class PreparedRun:
 def prepare_synthesis(network: Network, config: FlowConfig) -> PreparedRun:
     """Collapse a network and partition its outputs into engine groups."""
     with observe.span("collapse"):
-        collapsed = collapse(network)
+        collapsed = collapse(network, backend=config.bdd_backend)
         observe.watch(collapsed.bdd)
     bdd = collapsed.bdd
 

@@ -26,6 +26,7 @@ rows equal the collapsed-flow results.
 from __future__ import annotations
 
 from repro import observe
+from repro.bdd.backend import make_manager
 from repro.bdd.manager import BDD, FALSE, TRUE
 from repro.engine import Engine
 from repro.mapping.flow import FlowConfig, FlowResult
@@ -50,7 +51,9 @@ def _build_rep(bdd: BDD, cover, fanin_reps: list[int]) -> int:
 
 
 def partial_collapse(
-    network: Network, max_support: int = 16
+    network: Network,
+    max_support: int = 16,
+    backend: str = "object",
 ) -> tuple[BDD, dict[int, str], list[tuple[str, int]], dict[str, int]]:
     """Collapse a network up to a support cap.
 
@@ -60,7 +63,7 @@ def partial_collapse(
     then any remaining logic feeding the outputs), and ``rep`` maps every
     network signal to its function over the frontier.
     """
-    bdd = BDD()
+    bdd = make_manager(backend)
     rep: dict[str, int] = {}
     frontier: dict[int, str] = {}
     items: list[tuple[str, int]] = []
@@ -142,7 +145,9 @@ def synthesize_structural(
     """Map a multi-level network to LUTs via partial collapse."""
     config = config or FlowConfig()
     with observe.span("partial_collapse"):
-        bdd, frontier, items, rep = partial_collapse(network, max_cluster_inputs)
+        bdd, frontier, items, rep = partial_collapse(
+            network, max_cluster_inputs, backend=config.bdd_backend
+        )
         observe.watch(bdd)
         observe.add("clusters", len(items))
 

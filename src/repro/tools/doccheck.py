@@ -33,7 +33,12 @@ import sys
 from pathlib import Path
 
 #: Files/directories checked when no paths are given (repo-relative).
-DEFAULT_TARGETS = ("src/repro/engine", "src/repro/bdd/transfer.py")
+DEFAULT_TARGETS = (
+    "src/repro/engine",
+    "src/repro/bdd/transfer.py",
+    "src/repro/bdd/arena.py",
+    "src/repro/bdd/backend.py",
+)
 
 _SKIP_PRAGMA = "# doccheck: skip"
 

@@ -225,6 +225,43 @@ class TestFlowConfigValidation:
             config.k = 6
 
 
+class TestBackendParity:
+    """The arena backend must emit byte-identical networks (see ENGINE.md)."""
+
+    @pytest.mark.parametrize("mode", ["multi", "single"])
+    def test_arena_blif_identical(self, mode):
+        pytest.importorskip("numpy")
+        from repro.io.blif import write_blif
+
+        net = ones_count_network(5, 3)
+        obj = synthesize(net, FlowConfig(k=4, mode=mode, bdd_backend="object"))
+        arena = synthesize(net, FlowConfig(k=4, mode=mode, bdd_backend="arena"))
+        assert write_blif(obj.network) == write_blif(arena.network)
+        assert arena.bdd_stats.backend == "arena"
+        assert arena.bdd_stats.arena["capacity"] > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FlowConfig(bdd_backend="cudd")
+
+    def test_auto_reorder_needs_serial_executor(self):
+        with pytest.raises(ValueError, match="auto_reorder"):
+            FlowConfig(auto_reorder=True, executor="process")
+
+    def test_reorder_factor_validated(self):
+        with pytest.raises(ValueError, match="reorder_factor"):
+            FlowConfig(reorder_factor=1.0)
+
+    def test_auto_reorder_flow_stays_exact(self):
+        net = ones_count_network(6, 3)
+        result = synthesize(
+            net,
+            FlowConfig(k=4, mode="single", auto_reorder=True,
+                       reorder_factor=1.01),
+        )
+        assert verify_flow(net, result)
+
+
 class TestTypedStats:
     def test_bdd_stats_is_dataclass(self):
         from repro.observe import BddStats
@@ -236,4 +273,6 @@ class TestTypedStats:
         payload = result.bdd_stats.as_dict()
         assert set(payload) == {
             "nodes", "entries", "hits", "misses", "evictions", "hit_rate",
+            "backend",
         }
+        assert payload["backend"] == "object"

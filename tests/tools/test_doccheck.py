@@ -136,4 +136,5 @@ class TestMain:
     def test_default_target_set_is_pinned(self):
         assert DEFAULT_TARGETS == (
             "src/repro/engine", "src/repro/bdd/transfer.py",
+            "src/repro/bdd/arena.py", "src/repro/bdd/backend.py",
         )
