@@ -1,0 +1,99 @@
+"""Result-cache benchmark: cold fill vs warm replay wall-clock.
+
+The persistent result cache (``docs/CACHING.md``) promises that a warm
+run over an unchanged design recomputes nothing: every group is served
+from the store (canonicalize, rewrite, verify) instead of being
+decomposed.  This module records the cold/warm wall-clock pair per
+circuit -- the warm time is the price of the cache machinery alone, the
+ratio is the headroom re-runs gain -- and pins the contract while it
+measures: the warm run must hit on every group, miss on none, and emit
+byte-identical BLIF.
+
+The artifact (``BENCH_result_cache.json``) keeps the trajectory of both
+numbers diffable across PRs; canonicalization cost shows up in the cold
+column (versus the no-cache baseline) as well as the warm one.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import QUICK, emit, json_row, reset_results, write_json
+from repro.algebraic.rugged import rugged
+from repro.benchcircuits import get_circuit
+from repro.io.blif import write_blif
+from repro.mapping.flow import FlowConfig, synthesize
+
+MODULE = "result_cache"
+
+QUICK_SET = ["rd53", "misex1"]
+FULL_SET = ["rd53", "misex1", "5xp1", "duke2"]
+CIRCUITS = QUICK_SET if QUICK else FULL_SET
+
+_rows: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Result cache: cold fill vs warm replay (serial, k=5) ==")
+    emit(MODULE, f"{'net':>8} | {'grp':>4} {'luts':>5} | "
+                 f"{'no-cache/s':>10} {'cold/s':>7} {'warm/s':>7} "
+                 f"{'cold/warm':>9}")
+    yield
+    if not _rows:
+        return
+    best = max(_rows, key=lambda r: r["speedup"])
+    emit(MODULE, f"  best warm-run win: {best['name']} "
+                 f"({best['speedup']:.1f}x over its cold fill)")
+    write_json(
+        MODULE,
+        best_speedup_circuit=best["name"],
+        best_speedup=best["speedup"],
+    )
+
+
+def _timed(net, config):
+    start = time.perf_counter()
+    result = synthesize(net.copy(), config)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_cold_vs_warm(name, tmp_path):
+    net = get_circuit(name).build()
+    rugged(net)
+    base, t_base = _timed(net, FlowConfig(k=5))
+
+    # A fresh database per run: open_store memoizes per absolute path for
+    # the life of the process, so reusing pytest tmp dirs across repeats
+    # would leak warm state into "cold" timings.
+    db = str(Path(tempfile.mkdtemp(dir=tmp_path)) / "results.db")
+    cold, t_cold = _timed(net, FlowConfig(k=5, cache_db=db))
+    warm, t_warm = _timed(net, FlowConfig(k=5, cache_db=db))
+
+    # The contract being timed: full hits, no misses, identical bytes.
+    assert write_blif(cold.network) == write_blif(base.network)
+    assert write_blif(warm.network) == write_blif(base.network)
+    assert warm.engine_stats.cache_misses == 0
+    assert warm.engine_stats.cache_hits == cold.engine_stats.cache_stores
+
+    speedup = round(t_cold / t_warm, 3) if t_warm else float("inf")
+    luts = len(warm.network.nodes)
+    groups = warm.engine_stats.cache_hits
+    _rows.append(dict(name=name, speedup=speedup))
+    emit(MODULE, f"{name:>8} | {groups:>4} {luts:>5} | "
+                 f"{t_base:>10.2f} {t_cold:>7.2f} {t_warm:>7.2f} "
+                 f"{speedup:>8.2f}x")
+    json_row(
+        MODULE,
+        name=name,
+        groups=groups,
+        luts=luts,
+        t_no_cache_s=round(t_base, 3),
+        t_cold_s=round(t_cold, 3),
+        t_warm_s=round(t_warm, 3),
+        cold_over_warm=speedup,
+    )

@@ -1,0 +1,23 @@
+"""Persistent decomposition-result cache (ROADMAP item 2).
+
+The cache turns PR 4's checkpoint keying ("resume *my* run") into a
+fleet-wide memo: output groups are keyed by a *canonical* fingerprint of
+their function vector (:mod:`repro.bdd.canon`), so the same subfunction
+reached in another run, another circuit, or under renamed/permuted/
+complemented inputs skips decomposition entirely.
+
+Layers:
+
+- :mod:`repro.cache.store` -- the persistent key/value store on stdlib
+  ``sqlite3`` (WAL mode, schema-versioned, corruption degrades to misses).
+- :mod:`repro.cache.group` -- the engine-facing :class:`GroupCache`:
+  canonicalize, look up, de-canonicalize onto the caller's variables,
+  verify every hit against the requested functions before using it.
+
+See ``docs/CACHING.md`` for the key scheme and failure semantics.
+"""
+
+from repro.cache.group import GroupCache
+from repro.cache.store import SCHEMA_VERSION, ResultStore, open_store
+
+__all__ = ["GroupCache", "ResultStore", "SCHEMA_VERSION", "open_store"]

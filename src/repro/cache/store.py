@@ -1,0 +1,181 @@
+"""The persistent result store: stdlib ``sqlite3``, WAL mode, never fatal.
+
+One database file holds one ``results`` table mapping canonical keys
+(:mod:`repro.bdd.canon` key + semantic config digest, built by
+:class:`repro.cache.group.GroupCache`) to JSON payloads.  Design rules:
+
+- **schema-versioned**: a ``meta`` table records ``schema_version``; a
+  mismatching or unreadable version disables the store for the run (warn
+  once on stderr) instead of guessing at a migration or clobbering data.
+- **atomic upsert**: ``INSERT OR REPLACE`` in autocommit mode -- sqlite
+  serializes writers, and WAL journaling keeps concurrent readers (other
+  synthesis runs warming from the same file) unblocked.
+- **corruption degrades, never crashes**: any ``sqlite3.Error`` -- a
+  truncated file, garbage bytes, a locked database -- turns into cache
+  misses with a single stderr warning.  A cache must never make a run
+  fail that would have succeeded without it.
+
+The parent process owns the single writer connection (worker processes
+return results to the parent; see ``docs/CACHING.md``), and
+:func:`open_store` memoizes stores per absolute path so a batch of
+engines shares one connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import sys
+import time
+
+#: Version stamped into (and required from) the database's ``meta`` table.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    created REAL NOT NULL
+);
+"""
+
+
+class ResultStore:
+    """One sqlite-backed key -> JSON-payload store.
+
+    All methods are total: errors disable the store (``self.disabled``)
+    with one stderr warning and make every subsequent ``get`` a miss and
+    every ``put`` a no-op.
+    """
+
+    def __init__(self, path: str) -> None:
+        """Open (creating if needed) the database at ``path``."""
+        self.path = path
+        self.disabled = False
+        self._conn: sqlite3.Connection | None = None
+        try:
+            self._conn = sqlite3.connect(path, timeout=5.0)
+            self._conn.isolation_level = None  # autocommit: atomic upserts
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._check_schema()
+        except sqlite3.Error as exc:
+            self._disable(f"cannot open cache db: {exc}")
+
+    def _check_schema(self) -> None:
+        """Stamp a fresh database; disable on a version mismatch."""
+        assert self._conn is not None
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+        elif row[0] != str(SCHEMA_VERSION):
+            self._disable(
+                f"schema version {row[0]!r} != supported {SCHEMA_VERSION}"
+            )
+
+    def _disable(self, reason: str) -> None:
+        """Warn once and turn the store into a pass-through (all misses)."""
+        if not self.disabled:
+            print(
+                f"repro: warning: result cache {self.path} disabled: "
+                f"{reason} (continuing without cache)",
+                file=sys.stderr,
+            )
+        self.disabled = True
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def get(self, key: str) -> dict | None:
+        """The JSON payload stored under ``key``, or None (a miss).
+
+        Undecodable payloads and database errors are misses.
+        """
+        if self.disabled or self._conn is None:
+            return None
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._disable(f"read failed: {exc}")
+            return None
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except (TypeError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> bool:
+        """Atomically upsert ``payload`` under ``key``; True iff stored."""
+        if self.disabled or self._conn is None:
+            return False
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, payload, created) "
+                "VALUES (?, ?, ?)",
+                (key, json.dumps(payload, separators=(",", ":")), time.time()),
+            )
+        except sqlite3.Error as exc:
+            self._disable(f"write failed: {exc}")
+            return False
+        return True
+
+    def __len__(self) -> int:
+        """Number of stored results (0 when disabled)."""
+        if self.disabled or self._conn is None:
+            return 0
+        try:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+        except sqlite3.Error as exc:
+            self._disable(f"read failed: {exc}")
+            return 0
+
+    def close(self) -> None:
+        """Close the connection (the store is unusable afterwards)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+            self.disabled = True
+
+
+#: Open stores by absolute path (one writer connection per process).
+_STORES: dict[str, ResultStore] = {}
+
+
+def open_store(path: str) -> ResultStore:
+    """The process-wide :class:`ResultStore` for ``path`` (memoized).
+
+    Memoizing keeps one writer connection per database file however many
+    engines a batch creates, and keeps the "warn once" promise: a store
+    disabled by corruption stays disabled (all misses) for the whole
+    process instead of re-warning per circuit.  Tests that need a fresh
+    handle construct :class:`ResultStore` directly.
+    """
+    key = os.path.abspath(path)
+    store = _STORES.get(key)
+    if store is None:
+        store = ResultStore(path)
+        _STORES[key] = store
+    return store

@@ -147,6 +147,7 @@ def _make_config(args: argparse.Namespace) -> FlowConfig:
         checkpoint_path=checkpoint,
         checkpoint_every=getattr(args, "checkpoint_every", 1),
         resume_from=resume,
+        cache_db=getattr(args, "cache_db", None),
     )
 
 
@@ -360,6 +361,11 @@ def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
                      help="deterministic fault injection, e.g. "
                           "'kill@0,delay=0.1@2' or 'seed=7,kills=2' "
                           "(see docs/RELIABILITY.md)")
+    cmd.add_argument("--cache-db", metavar="FILE",
+                     help="persistent result cache: an sqlite database of "
+                          "canonically-fingerprinted group results, consulted "
+                          "before decomposing and fed after (works with both "
+                          "executors; see docs/CACHING.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:

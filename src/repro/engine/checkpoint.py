@@ -49,6 +49,10 @@ _NON_SEMANTIC_FIELDS = frozenset(
     {
         "jobs",
         "executor",
+        # Both BDD backends emit byte-identical networks (the PR 5
+        # equivalence guarantee, enforced by CI), so checkpoint files and
+        # cache entries are shareable across them.
+        "bdd_backend",
         "fault_plan",
         "task_timeout",
         "task_retries",
@@ -57,6 +61,7 @@ _NON_SEMANTIC_FIELDS = frozenset(
         "checkpoint_path",
         "checkpoint_every",
         "resume_from",
+        "cache_db",
     }
 )
 
@@ -145,6 +150,20 @@ def result_from_json(payload: dict) -> "GroupResult":
 # ----------------------------------------------------------------------
 
 
+def _fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class CheckpointEntry:
     """One completed group stored in a checkpoint."""
@@ -181,7 +200,16 @@ class Checkpointer:
             self.flush()
 
     def flush(self) -> None:
-        """Write all buffered entries to ``path`` atomically."""
+        """Write all buffered entries to ``path`` atomically and durably.
+
+        The payload is written to a per-process temp name (two runs
+        checkpointing to the same path must not clobber each other's
+        partial writes), fsynced so the rename cannot land before the
+        data under a crash, then moved into place with ``os.replace``.
+        The containing directory is fsynced best-effort (not all
+        filesystems support opening directories); a failed write cleans
+        the temp file up before re-raising.
+        """
         payload = {
             "schema": CHECKPOINT_SCHEMA,
             "config_digest": self.digest,
@@ -194,10 +222,20 @@ class Checkpointer:
                 for e in sorted(self._entries.values(), key=lambda e: e.ordinal)
             ],
         }
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, self.path)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(os.path.dirname(os.path.abspath(self.path)))
         self._unflushed = 0
 
     def close(self) -> None:
@@ -213,6 +251,12 @@ class ResumeState:
         """Wrap validated checkpoint ``entries`` loaded under config ``digest``."""
         self.digest = digest
         self._entries = entries
+        #: Entries skipped because their payload fingerprint no longer
+        #: matched (the input network changed since the checkpoint).  The
+        #: executor surfaces this as ``checkpoint_stale_entries`` plus a
+        #: one-line stderr notice, so a resume that recomputes everything
+        #: is explainable instead of silently slow.
+        self.stale = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -221,10 +265,14 @@ class ResumeState:
         """The stored result for ``ordinal`` -- if its fingerprint matches.
 
         A stale entry (the group's functions changed since the checkpoint
-        was written) is skipped silently: the group is recomputed.
+        was written) is counted on :attr:`stale` and skipped: the group
+        is recomputed.
         """
         entry = self._entries.get(ordinal)
-        if entry is None or entry.fingerprint != fingerprint:
+        if entry is None:
+            return None
+        if entry.fingerprint != fingerprint:
+            self.stale += 1
             return None
         return entry.result
 
@@ -239,7 +287,10 @@ def load_checkpoint(path: str, config: "FlowConfig") -> ResumeState:
     try:
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError (empty/truncated files)
+        # AND UnicodeDecodeError (a file truncated mid-multibyte-sequence
+        # fails decoding before the JSON parser even runs).
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("schema") != CHECKPOINT_SCHEMA:
         raise CheckpointError(

@@ -36,6 +36,7 @@ behind the two calls the flows need: ``run_groups`` and ``stats``.
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -91,14 +92,53 @@ class SerialExecutor:
     ) -> list[list[str]]:
         """Drain every group in order on the engine's own context.
 
-        With ``config.auto_reorder`` the manager's growth is checked at
-        every group boundary and a growth past ``config.reorder_factor``
-        times the post-build size triggers a sifting pass over the pending
-        roots (see :func:`repro.bdd.reorder.sift_groups`).
+        With ``config.cache_db`` each group is first looked up in the
+        persistent result cache; misses run through the in-process worker
+        path so their portable result can be recorded (see
+        :meth:`_drain_with_cache`).  With ``config.auto_reorder`` the
+        manager's growth is checked at every group boundary and a growth
+        past ``config.reorder_factor`` times the post-build size triggers
+        a sifting pass over the pending roots (see
+        :func:`repro.bdd.reorder.sift_groups`).
         """
+        if engine.group_cache is not None:
+            return self._drain_with_cache(engine, groups)
         if not engine.config.auto_reorder:
             return self.drain_groups(engine.emitter, engine.graph, groups)
         return self._drain_with_reorder(engine, groups)
+
+    def _drain_with_cache(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        """Group-at-a-time drain consulting the persistent result cache.
+
+        A verified hit merges like a worker result.  A miss runs the
+        group through :func:`repro.engine.worker.run_group` *in process*
+        -- the same portable path the process executor uses, which PR 3's
+        equivalence guarantee makes byte-identical to the plain serial
+        drain -- so the result exists in storable form and is recorded
+        after the merge.
+        """
+        cache = engine.group_cache
+        results: list[list[str]] = []
+        for f_nodes in groups:
+            engine.graph.note_queue_depth(len(groups) - len(results))
+            with observe.span("cache-lookup"):
+                hit, form = cache.lookup(engine.context, f_nodes)
+            if hit is not None:
+                signals = merge_group_result(engine, hit)
+            else:
+                result = run_group(self._cache_payload(engine, f_nodes))
+                signals = merge_group_result(engine, result)
+                with observe.span("cache-record"):
+                    cache.record(engine.context, form, f_nodes, result)
+            results.append(signals)
+        return results
+
+    @staticmethod
+    def _cache_payload(engine: "Engine", f_nodes: list[int]) -> GroupPayload:
+        """Export one group for the in-process worker path (cache drain)."""
+        return ProcessExecutor._payload(engine.context, f_nodes)
 
     def _drain_with_reorder(
         self, engine: "Engine", groups: list[list[int]]
@@ -209,6 +249,12 @@ class Submission:
         failures: structured records of every failed attempt so far.
         degraded_signals: output signals produced by the in-parent serial
             fallback (None unless the group degraded).
+        cache_form: canonical form computed by the result-cache lookup
+            (kept so a miss can be recorded after the merge without
+            canonicalizing twice; None when no cache is configured or
+            the group replayed from a checkpoint instead).
+        cache_hit: True when ``cached`` came from the result cache
+            rather than a resume checkpoint.
     """
 
     ordinal: int
@@ -220,6 +266,8 @@ class Submission:
     attempt: int = 0
     failures: list[dict] = field(default_factory=list)
     degraded_signals: list[str] | None = None
+    cache_form: object | None = None
+    cache_hit: bool = False
 
 
 class ProcessExecutor:
@@ -238,6 +286,7 @@ class ProcessExecutor:
             "faults_injected": 0,
             "checkpoint_saved": 0,
             "checkpoint_replayed": 0,
+            "checkpoint_stale_entries": 0,
         }
 
     def reliability(self) -> dict[str, int]:
@@ -311,8 +360,10 @@ class ProcessExecutor:
         Split from :meth:`collect_groups` so batch mode can enqueue the
         groups of *many* networks before collecting any of them
         (``first_ordinal`` offsets the batch-wide submission ordinals).
-        Groups found in ``resume`` are not submitted at all -- their
-        stored result replays at collect time.
+        Groups found in ``resume`` or in the persistent result cache are
+        not submitted at all -- their stored result replays at collect
+        time (resume wins over the cache: it is keyed by position and
+        exact payload, so its replay semantics are stricter).
         """
         ctx = engine.context
         subs: list[Submission] = []
@@ -327,10 +378,33 @@ class ProcessExecutor:
             sub = Submission(ordinal, list(f_nodes), payload, fingerprint)
             if resume is not None and fingerprint is not None:
                 sub.cached = resume.lookup(ordinal, fingerprint)
+            if sub.cached is None and engine.group_cache is not None:
+                with observe.span("cache-lookup"):
+                    hit, form = engine.group_cache.lookup(ctx, f_nodes)
+                sub.cache_form = form
+                if hit is not None:
+                    sub.cached = hit
+                    sub.cache_hit = True
             if sub.cached is None:
                 sub.future = self._pool_submit(self._armed(sub, faults))
             subs.append(sub)
+        self._note_stale(resume)
         return subs
+
+    def _note_stale(self, resume: ResumeState | None) -> None:
+        """Surface newly-discovered stale resume entries (counter + stderr)."""
+        if resume is None:
+            return
+        new = resume.stale - self._counts["checkpoint_stale_entries"]
+        if new > 0:
+            self._counts["checkpoint_stale_entries"] = resume.stale
+            observe.add("checkpoint_stale_entries", new)
+            print(
+                f"repro: {new} stale checkpoint entr"
+                f"{'y' if new == 1 else 'ies'} skipped (group inputs "
+                "changed since the checkpoint); recomputing",
+                file=sys.stderr,
+            )
 
     def _pool_submit(self, payload: GroupPayload):
         """Submit on the shared pool, rebuilding it once if it is broken.
@@ -363,8 +437,10 @@ class ProcessExecutor:
             for remaining, sub in enumerate(subs):
                 engine.graph.note_queue_depth(len(subs) - remaining)
                 if sub.cached is not None:
-                    self._counts["checkpoint_replayed"] += 1
-                    observe.add("checkpoint_groups_replayed")
+                    if not sub.cache_hit:
+                        self._counts["checkpoint_replayed"] += 1
+                        observe.add("checkpoint_groups_replayed")
+                    # (result-cache hits were already counted at lookup)
                     result: GroupResult | None = sub.cached
                 else:
                     result = self._await_result(engine, sub, faults)
@@ -373,6 +449,16 @@ class ProcessExecutor:
                     if ckpt is not None and sub.fingerprint is not None:
                         ckpt.record(sub.ordinal, sub.fingerprint, result)
                         self._counts["checkpoint_saved"] += 1
+                    if (
+                        engine.group_cache is not None
+                        and sub.cache_form is not None
+                        and not sub.cache_hit
+                    ):
+                        with observe.span("cache-record"):
+                            engine.group_cache.record(
+                                engine.context, sub.cache_form,
+                                sub.f_nodes, result,
+                            )
                 else:
                     # Degraded serial fallback already emitted in-parent.
                     signals = sub.degraded_signals
@@ -527,7 +613,7 @@ def merge_group_result(engine: "Engine", result: GroupResult) -> list[str]:
         )
         ctx.lut.add_node(name, fanins, cover)
         rename[spec.name] = name
-        observe.add("luts_emitted" if prefix == "L" else "shannon_splits")
+        observe.add("shannon_splits" if prefix == "M" else "luts_emitted")
     ctx.records.extend(result.records)
     engine.graph.merge_counts(result.kind_counts, offloaded=True)
     return [rename.get(sig, sig) for sig in result.outputs]
@@ -598,6 +684,11 @@ class Engine:
             self.context, make_policy(config), self.graph
         )
         self.executor: Executor = make_executor(config)
+        self.group_cache = None
+        if config.cache_db is not None:
+            from repro.cache.group import GroupCache
+
+            self.group_cache = GroupCache.open(config.cache_db, config)
 
     def run_groups(self, groups: list[list[int]]) -> list[list[str]]:
         """Map each group of BDD roots to its emitted output signals."""
@@ -607,10 +698,13 @@ class Engine:
         """Report-ready counters for the run's ``engine`` section.
 
         Folds the executor's reliability counters (retries, timeouts,
-        degradations, checkpoint activity) into the task-graph counts.
+        degradations, checkpoint activity) and the result-cache counters
+        into the task-graph counts.
         """
         stats = self.graph.stats(self.executor.name, self.executor.workers)
         reliability = getattr(self.executor, "reliability", None)
         if reliability is not None:
             stats = dc_replace(stats, **reliability())
+        if self.group_cache is not None:
+            stats = dc_replace(stats, **self.group_cache.counters())
         return stats

@@ -60,6 +60,19 @@ class EngineStats:
         faults_injected: faults fired by the fault-injection harness.
         checkpoint_saved: group results written to the checkpoint file.
         checkpoint_replayed: group results replayed from ``--resume``.
+        checkpoint_stale_entries: resume entries skipped because their
+            payload fingerprint no longer matched (inputs changed).
+        cache_hits: groups replayed from the persistent result cache
+            (``FlowConfig.cache_db``), verified against the requested
+            functions.
+        cache_misses: groups looked up in the result cache and computed
+            fresh (includes rejected hits).
+        cache_stores: freshly computed group results written to the cache.
+        cache_canonicalizations: canonical fingerprints computed.
+        cache_fallbacks: fingerprints that fell back to the raw
+            support-normalized key (tie space or node budget exceeded).
+        cache_rejects: cached payloads discarded because verification
+            against the requested functions failed (collision/corruption).
     """
 
     executor: str = "serial"
@@ -78,6 +91,13 @@ class EngineStats:
     faults_injected: int = 0
     checkpoint_saved: int = 0
     checkpoint_replayed: int = 0
+    checkpoint_stale_entries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_canonicalizations: int = 0
+    cache_fallbacks: int = 0
+    cache_rejects: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON form for ``build_report(engine=...)``."""

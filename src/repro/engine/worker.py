@@ -92,6 +92,7 @@ def run_group(payload: GroupPayload) -> GroupResult:
         fault_plan=None,
         checkpoint_path=None,
         resume_from=None,
+        cache_db=None,  # the parent owns the single store connection
     )
     bdd = make_manager(payload.config.bdd_backend)
     roots = import_dag(bdd, payload.dag)

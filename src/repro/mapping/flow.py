@@ -79,6 +79,9 @@ class FlowConfig:
     checkpoint_every: int = 1  # flush period, in merged groups
     resume_from: str | None = None  # replay a checkpoint file
 
+    # -- persistent result cache (see docs/CACHING.md) ------------------
+    cache_db: str | None = None  # sqlite store of canonical group results
+
     def __post_init__(self) -> None:
         if self.k < 3:
             raise ValueError("k < 3 cannot host the Shannon fallback mux")
@@ -114,6 +117,12 @@ class FlowConfig:
             raise ValueError("retry_backoff must be >= 0")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.cache_db is not None and self.auto_reorder:
+            raise ValueError(
+                "cache_db cannot be combined with auto_reorder (the cached "
+                "drain replays groups through the worker path, which has no "
+                "group-boundary reorder hook)"
+            )
 
 
 @dataclass

@@ -35,9 +35,11 @@ from pathlib import Path
 #: Files/directories checked when no paths are given (repo-relative).
 DEFAULT_TARGETS = (
     "src/repro/engine",
+    "src/repro/cache",
     "src/repro/bdd/transfer.py",
     "src/repro/bdd/arena.py",
     "src/repro/bdd/backend.py",
+    "src/repro/bdd/canon.py",
 )
 
 _SKIP_PRAGMA = "# doccheck: skip"

@@ -1,0 +1,207 @@
+"""Differential properties of the NPN-lite canonical fingerprint.
+
+The cache keys must be *invariant* under the renamings
+:func:`repro.bdd.canon.canonical_form` claims to absorb -- input
+permutation, input polarity, output polarity, support placement -- and
+*distinct* for functions that provably differ.  Both directions are
+exercised here: by construction (transform a truth table, compare keys)
+and exhaustively at three variables, where the NPN class count (14) is
+known.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.canon import canonical_form
+from repro.bdd.manager import BDD, FALSE, TRUE
+
+# ----------------------------------------------------------------------
+# truth-table helpers
+# ----------------------------------------------------------------------
+
+
+def build(bdd, table, var_edges):
+    """ROBDD of an integer truth table (bit ``i`` = value at assignment ``i``).
+
+    Assignment index ``i`` encodes variable ``j`` (an edge in
+    ``var_edges``) at bit ``j``.
+    """
+
+    def rec(t, n):
+        if n == 0:
+            return TRUE if t & 1 else FALSE
+        half = 1 << (n - 1)
+        lo = rec(t & ((1 << half) - 1), n - 1)
+        hi = rec(t >> half, n - 1)
+        return bdd.ite(var_edges[n - 1], hi, lo)
+
+    return rec(table, len(var_edges))
+
+
+def npn_transform(table, n, perm, ipol, opol):
+    """Table of ``g(y) = f(z) ^ opol`` with ``z[perm[i]] = y[i] ^ ipol[i]``."""
+    out = 0
+    for idx in range(1 << n):
+        src = 0
+        for i in range(n):
+            bit = (idx >> i) & 1
+            src |= (bit ^ ipol[i]) << perm[i]
+        if (table >> src) & 1:
+            out |= 1 << idx
+    if opol:
+        out ^= (1 << (1 << n)) - 1
+    return out
+
+
+def fresh(n):
+    bdd = BDD()
+    bdd.add_vars(n, prefix="x")
+    return bdd, [bdd.var(i) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# invariance
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def npn_instance(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=2))
+    bits = 1 << n
+    tables = [
+        draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        for _ in range(m)
+    ]
+    perm = tuple(draw(st.permutations(list(range(n)))))
+    ipol = [int(draw(st.booleans())) for _ in range(n)]
+    opol = [int(draw(st.booleans())) for _ in range(m)]
+    return n, tables, perm, ipol, opol
+
+
+class TestInvariance:
+    @given(npn_instance())
+    @settings(max_examples=80, deadline=None)
+    def test_key_survives_any_npn_transform(self, inst):
+        n, tables, perm, ipol, opol = inst
+        bdd, var_edges = fresh(n)
+        orig = canonical_form(bdd, [build(bdd, t, var_edges) for t in tables])
+        transformed = [
+            npn_transform(t, n, perm, ipol, o) for t, o in zip(tables, opol)
+        ]
+        trans = canonical_form(
+            bdd, [build(bdd, t, var_edges) for t in transformed]
+        )
+        # Exactness is decided by transform-invariant signatures, so the
+        # two instances must agree on it -- and exact keys must collide.
+        assert orig.exact == trans.exact
+        if orig.exact:
+            assert orig.key == trans.key
+
+    def test_support_normalization_ignores_manager_placement(self):
+        bdd = BDD()
+        bdd.add_vars(6, prefix="x")
+        table = 0xCA  # a generic 3-variable function (ite(x2, x1, x0))
+        low = build(bdd, table, [bdd.var(i) for i in (0, 1, 2)])
+        high = build(bdd, table, [bdd.var(i) for i in (1, 3, 5)])
+        assert canonical_form(bdd, [low]).key == canonical_form(bdd, [high]).key
+        # The raw fallback is support-normalized too.
+        a = canonical_form(bdd, [low], max_candidates=0)
+        b = canonical_form(bdd, [high], max_candidates=0)
+        assert not a.exact and not b.exact
+        assert a.key == b.key
+
+    def test_fallback_is_deterministic(self):
+        bdd, var_edges = fresh(3)
+        f = build(bdd, 0xCA, var_edges)
+        a = canonical_form(bdd, [f], max_candidates=0)
+        b = canonical_form(bdd, [f], max_candidates=0)
+        assert a == b
+        assert a.key.startswith("raw:")
+
+
+# ----------------------------------------------------------------------
+# distinctness
+# ----------------------------------------------------------------------
+
+
+class TestDistinctness:
+    def test_three_var_tables_partition_into_14_npn_classes(self):
+        # The number of NPN equivalence classes of 3-variable functions
+        # is 14 (a classical count); an exact canonicalizer must produce
+        # exactly one key per class and never merge two classes.
+        bdd, var_edges = fresh(3)
+        by_key = {}
+        for table in range(256):
+            form = canonical_form(bdd, [build(bdd, table, var_edges)])
+            assert form.exact, f"table {table:#04x} unexpectedly fell back"
+            by_key.setdefault(form.key, set()).add(table)
+        assert len(by_key) == 14
+        assert sum(len(v) for v in by_key.values()) == 256
+
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_onset_profiles_get_distinct_keys(self, n, data):
+        # min(|onset|, |offset|) is invariant under every NPN transform,
+        # so two single-output functions that differ on it can never
+        # legitimately share a key.
+        bits = 1 << n
+        t1 = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        t2 = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        c1, c2 = bin(t1).count("1"), bin(t2).count("1")
+        assume(min(c1, bits - c1) != min(c2, bits - c2))
+        bdd, var_edges = fresh(n)
+        k1 = canonical_form(bdd, [build(bdd, t1, var_edges)]).key
+        k2 = canonical_form(bdd, [build(bdd, t2, var_edges)]).key
+        assert k1 != k2
+
+    def test_vector_arity_separates_keys(self):
+        bdd, var_edges = fresh(2)
+        f = build(bdd, 0b1000, var_edges)  # AND
+        single = canonical_form(bdd, [f])
+        double = canonical_form(bdd, [f, f])
+        assert single.key != double.key
+
+
+# ----------------------------------------------------------------------
+# edges of the domain
+# ----------------------------------------------------------------------
+
+
+class TestEdges:
+    def test_constant_vectors_normalize_phase(self):
+        bdd, _ = fresh(2)
+        a = canonical_form(bdd, [TRUE, FALSE])
+        b = canonical_form(bdd, [FALSE, TRUE])
+        assert a.exact and b.exact
+        assert a.key == b.key  # same arity, phases absorb the difference
+        assert a.output_phase == (1, 0)
+        assert b.output_phase == (0, 1)
+        assert a.key != canonical_form(bdd, [FALSE]).key
+
+    def test_small_parity_is_exact_large_parity_falls_back(self):
+        # Parity maximizes every tie the canonicalizer enumerates; the
+        # candidate cap must kick in before the enumeration explodes.
+        def parity(n):
+            bdd, var_edges = fresh(n)
+            f = FALSE
+            for v in var_edges:
+                f = bdd.apply_xor(f, v)
+            return canonical_form(bdd, [f])
+
+        assert parity(3).exact
+        assert not parity(6).exact
+        assert parity(6).key.startswith("raw:")
+
+    def test_form_metadata_is_well_shaped(self):
+        bdd, var_edges = fresh(3)
+        form = canonical_form(bdd, [build(bdd, 0xE8, var_edges)])  # majority
+        assert form.levels == (0, 1, 2)
+        assert sorted(form.perm) == [0, 1, 2]
+        assert len(form.input_phase) == 3
+        assert len(form.output_phase) == 1
+        assert form.key.startswith("npn:")

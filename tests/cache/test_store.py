@@ -1,0 +1,101 @@
+"""The sqlite result store: round-trips, schema gating, corruption semantics."""
+
+import sqlite3
+
+from repro.cache.store import SCHEMA_VERSION, ResultStore, open_store
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c.db"))
+        assert store.put("k1", {"n": 2, "nodes": []})
+        assert store.get("k1") == {"n": 2, "nodes": []}
+        assert store.get("absent") is None
+        assert len(store) == 1
+
+    def test_put_is_an_upsert(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c.db"))
+        store.put("k", {"v": 1})
+        store.put("k", {"v": 2})
+        assert store.get("k") == {"v": 2}
+        assert len(store) == 1
+
+    def test_entries_persist_across_handles(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        first = ResultStore(path)
+        first.put("k", {"v": 1})
+        first.close()
+        second = ResultStore(path)
+        assert second.get("k") == {"v": 1}
+
+    def test_closed_store_is_inert(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c.db"))
+        store.close()
+        assert store.get("k") is None
+        assert store.put("k", {}) is False
+        assert len(store) == 0
+
+
+class TestCorruption:
+    def test_garbage_file_disables_with_one_warning(self, tmp_path, capsys):
+        path = tmp_path / "c.db"
+        path.write_bytes(b"\x00this is not a database\xff" * 64)
+        store = ResultStore(str(path))
+        assert store.disabled
+        # Every operation degrades to a miss/no-op without re-warning.
+        assert store.get("k") is None
+        assert store.put("k", {"v": 1}) is False
+        assert len(store) == 0
+        err = capsys.readouterr().err
+        assert err.count("disabled") == 1
+        assert "continuing without cache" in err
+
+    def test_schema_version_mismatch_disables(self, tmp_path, capsys):
+        path = str(tmp_path / "c.db")
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        store = ResultStore(path)
+        assert store.disabled
+        assert "schema version" in capsys.readouterr().err
+        assert store.get("k") is None
+
+    def test_fresh_database_is_stamped(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert row == (str(SCHEMA_VERSION),)
+
+    def test_undecodable_payload_is_a_miss_not_a_crash(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        store = ResultStore(path)
+        store.put("good", {"v": 1})
+        store._conn.execute(
+            "INSERT OR REPLACE INTO results (key, payload, created) "
+            "VALUES ('bad', 'not json {', 0)"
+        )
+        store._conn.execute(
+            "INSERT OR REPLACE INTO results (key, payload, created) "
+            "VALUES ('list', '[1, 2]', 0)"
+        )
+        assert store.get("bad") is None
+        assert store.get("list") is None  # JSON but not an object
+        assert not store.disabled  # bad rows never poison the store
+        assert store.get("good") == {"v": 1}
+
+
+class TestOpenStore:
+    def test_memoizes_one_store_per_path(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        a = open_store(path)
+        b = open_store(path)
+        assert a is b
+        assert open_store(str(tmp_path / "other.db")) is not a

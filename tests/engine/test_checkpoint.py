@@ -1,13 +1,16 @@
 """Checkpoint files: digests, round-trips, atomic writes, resume lookup."""
 
 import json
+import os
 
 import pytest
 
 from repro.bdd.transfer import PortableDag
 from repro.engine.checkpoint import (
     CHECKPOINT_SCHEMA,
+    CheckpointEntry,
     Checkpointer,
+    ResumeState,
     config_digest,
     load_checkpoint,
     payload_fingerprint,
@@ -161,3 +164,100 @@ class TestCheckpointerAndLoad:
         ck.record(0, "fp0", sample_result())
         ck.close()
         assert list(tmp_path.iterdir()) == [path]
+
+
+def write_valid_checkpoint(tmp_path):
+    config = FlowConfig()
+    path = tmp_path / "ck.json"
+    ck = Checkpointer(str(path), config_digest(config), every=1)
+    ck.record(0, "fp0", sample_result())
+    ck.close()
+    return path, config
+
+
+class TestTruncatedCheckpoints:
+    def test_any_truncation_raises_checkpoint_error(self, tmp_path):
+        # A crash mid-write (or a copy of a half-written file) must turn
+        # into the one-line CheckpointError the CLI maps to exit 2 --
+        # never a raw JSONDecodeError traceback.
+        path, config = write_valid_checkpoint(tmp_path)
+        blob = path.read_bytes()
+        assert len(blob) > 8
+        for cut in (0, 1, len(blob) // 3, len(blob) // 2, len(blob) - 1):
+            trunc = tmp_path / f"trunc{cut}.json"
+            trunc.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointError, match="cannot read"):
+                load_checkpoint(str(trunc), config)
+
+    def test_truncation_mid_multibyte_sequence_raises(self, tmp_path):
+        # Cutting inside a UTF-8 sequence fails *decoding* before the
+        # JSON parser even runs (UnicodeDecodeError, a ValueError
+        # subclass) -- it must be wrapped exactly like any other
+        # truncation.
+        blob = json.dumps(
+            {"schema": CHECKPOINT_SCHEMA, "note": "café"},
+            ensure_ascii=False,
+        ).encode("utf-8")
+        cut = blob.index(b"\xc3") + 1
+        path = tmp_path / "ck.json"
+        path.write_bytes(blob[:cut])
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(path), FlowConfig())
+
+
+class TestFlushDurability:
+    def test_temp_name_is_per_process(self, tmp_path, monkeypatch):
+        # Two runs checkpointing to the same path must not clobber each
+        # other's partial writes; the temp name carries the writer's pid.
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen["src"] = src
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        path = str(tmp_path / "ck.json")
+        ck = Checkpointer(path, "digest", every=1)
+        ck.record(0, "fp0", sample_result())
+        assert seen["src"] == f"{path}.tmp.{os.getpid()}"
+
+    def test_data_is_fsynced_before_the_rename(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda s, d: (events.append("replace"), real_replace(s, d))[1],
+        )
+        ck = Checkpointer(str(tmp_path / "ck.json"), "digest", every=1)
+        ck.record(0, "fp0", sample_result())
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_failed_flush_cleans_up_and_reraises(self, tmp_path, monkeypatch):
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        ck = Checkpointer(str(tmp_path / "ck.json"), "digest", every=1)
+        with pytest.raises(OSError, match="disk full"):
+            ck.record(0, "fp0", sample_result())
+        assert list(tmp_path.iterdir()) == []  # no temp file left behind
+
+
+class TestResumeStaleCounting:
+    def test_lookup_counts_fingerprint_mismatches_only(self):
+        state = ResumeState(
+            "digest", {0: CheckpointEntry(0, "fp0", sample_result())}
+        )
+        assert state.stale == 0
+        assert state.lookup(0, "CHANGED") is None
+        assert state.stale == 1
+        assert state.lookup(7, "fp0") is None  # absent ordinal: not stale
+        assert state.stale == 1
+        assert state.lookup(0, "fp0") is not None  # a match: not stale
+        assert state.stale == 1

@@ -373,3 +373,105 @@ class TestReliabilityCli:
         assert "design: " in out and "verified" in out
         written = [p.name for p in out_dir.glob("*.blif")]
         assert written == ["design.blif"]
+
+
+PAIR_BLIF = """\
+.model pair
+.inputs a b c
+.outputs y z
+.names a b c y
+111 1
+.names a b z
+11 1
+.end
+"""
+
+# The same structure with output y complemented: the z group's checkpoint
+# fingerprint still matches, the y group's does not.
+PAIR_BLIF_Y_FLIPPED = """\
+.model pair
+.inputs a b c
+.outputs y z
+.names a b c y
+0-- 1
+-0- 1
+--0 1
+.names a b z
+11 1
+.end
+"""
+
+
+class TestResultCacheCli:
+    def test_cold_then_warm_is_byte_identical_with_full_hits(
+        self, rd53_file, tmp_path
+    ):
+        db = tmp_path / "cache.db"
+        plain, cold, warm = (tmp_path / n for n in ("p.blif", "c.blif", "w.blif"))
+        report = tmp_path / "warm.json"
+        assert main(["synth", str(rd53_file), "-o", str(plain)]) == 0
+        assert main(["synth", str(rd53_file), "--cache-db", str(db),
+                     "-o", str(cold)]) == 0
+        assert main(["synth", str(rd53_file), "--cache-db", str(db),
+                     "-o", str(warm), "--report", str(report)]) == 0
+        assert cold.read_bytes() == plain.read_bytes()
+        assert warm.read_bytes() == plain.read_bytes()
+        engine = validate_report(json.loads(report.read_text()))["engine"]
+        assert engine["cache_hits"] > 0
+        assert engine["cache_misses"] == 0
+        assert engine["cache_rejects"] == 0
+
+    def test_warm_process_run_matches_serial_cold_run(
+        self, rd53_file, tmp_path
+    ):
+        db = tmp_path / "cache.db"
+        cold, warm = tmp_path / "c.blif", tmp_path / "w.blif"
+        report = tmp_path / "warm.json"
+        assert main(["synth", str(rd53_file), "--cache-db", str(db),
+                     "-o", str(cold)]) == 0
+        assert main(["synth", str(rd53_file), "--cache-db", str(db),
+                     "--executor", "process", "--jobs", "2",
+                     "-o", str(warm), "--report", str(report)]) == 0
+        assert warm.read_bytes() == cold.read_bytes()
+        engine = validate_report(json.loads(report.read_text()))["engine"]
+        assert engine["cache_misses"] == 0
+
+    def test_corrupt_cache_db_degrades_to_recompute_exit_0(
+        self, rd53_file, tmp_path, capsys
+    ):
+        db = tmp_path / "cache.db"
+        db.write_bytes(b"\x00definitely not sqlite\xff" * 64)
+        plain, out = tmp_path / "p.blif", tmp_path / "o.blif"
+        assert main(["synth", str(rd53_file), "-o", str(plain)]) == 0
+        rc = main(["synth", str(rd53_file), "--cache-db", str(db),
+                   "-o", str(out)])
+        assert rc == 0
+        assert out.read_bytes() == plain.read_bytes()
+        err = capsys.readouterr().err
+        assert "disabled" in err and "continuing without cache" in err
+
+
+class TestStaleCheckpointNotice:
+    def test_resume_with_changed_network_reports_stale_entries(
+        self, tmp_path, capsys
+    ):
+        before = tmp_path / "before.blif"
+        after = tmp_path / "after.blif"
+        before.write_text(PAIR_BLIF)
+        after.write_text(PAIR_BLIF_Y_FLIPPED)
+        ck = tmp_path / "run.ckpt"
+        report = tmp_path / "resumed.json"
+        assert main(["synth", str(before), "--mode", "single",
+                     "--executor", "process", "--jobs", "2",
+                     "--checkpoint", str(ck)]) == 0
+        rc = main(["synth", str(after), "--mode", "single",
+                   "--executor", "process", "--jobs", "2",
+                   "--resume", str(ck), "--report", str(report),
+                   "-o", str(tmp_path / "resumed.blif")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "stale checkpoint entry" in err
+        assert "recomputing" in err
+        engine = validate_report(json.loads(report.read_text()))["engine"]
+        assert engine["checkpoint_stale_entries"] == 1
+        assert engine["checkpoint_replayed"] == 1

@@ -25,7 +25,12 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 
-DOC_FILES = ("README.md", "docs/OBSERVABILITY.md", "docs/RELIABILITY.md")
+DOC_FILES = (
+    "README.md",
+    "docs/OBSERVABILITY.md",
+    "docs/RELIABILITY.md",
+    "docs/CACHING.md",
+)
 
 _FENCE = re.compile(r"^```(\w*)\s*$")
 _SKIP = re.compile(r"<!--\s*doc-snippet:\s*skip.*-->")
