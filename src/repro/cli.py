@@ -51,8 +51,11 @@ still map.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -60,9 +63,15 @@ from repro import observe
 from repro.algebraic.rugged import rugged
 from repro.bdd.backend import BACKEND_NAMES, DEFAULT_BACKEND, BackendUnavailable
 from repro.engine import parse_fault_plan, synthesize_batch
-from repro.errors import BudgetExceeded, CheckpointError, ReproError
-from repro.io.blif import parse_blif, write_blif
-from repro.io.pla import parse_pla
+from repro.engine.executors import request_cancel, reset_cancel, shutdown_pool
+from repro.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    ReproError,
+    RunInterrupted,
+)
+from repro.io import parse_network
+from repro.io.blif import write_blif
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
 from repro.mapping.structural import synthesize_structural
 from repro.mapping.xc3000 import pack_xc3000
@@ -70,34 +79,75 @@ from repro.network.network import Network
 from repro.network.stats import network_stats
 from repro.observe import Budget, Tracer, build_report, format_tree
 
-#: First tokens that identify a BLIF file when the suffix does not.
-_BLIF_TOKENS = {".model", ".inputs", ".outputs", ".names", ".exdc"}
-
 
 def load_network(path: Path) -> Network:
     """Read a PLA or BLIF file, dispatching on suffix, then content.
 
-    An explicit ``.pla`` / ``.blif`` suffix is authoritative -- in
-    particular a ``.blif`` file beginning with ``.inputs`` is never
-    mis-sniffed as PLA (both formats start with ``.i``...).  Other suffixes
-    fall back to sniffing the first token; unrecognizable content raises a
+    An explicit ``.pla`` / ``.blif`` suffix is authoritative; other
+    suffixes fall back to sniffing the first token (see
+    :func:`repro.io.parse_network`).  Unrecognizable content raises a
     one-line :class:`ValueError` (exit code 2 from :func:`main`).
     """
-    text = path.read_text()
-    suffix = path.suffix.lower()
-    if suffix == ".pla":
-        return parse_pla(text, name=path.stem)
-    if suffix == ".blif":
-        return parse_blif(text)
-    first_token = text.lstrip().split(None, 1)[0] if text.strip() else ""
-    if first_token == ".i":
-        return parse_pla(text, name=path.stem)
-    if first_token in _BLIF_TOKENS:
-        return parse_blif(text)
-    raise ValueError(
-        f"{path}: cannot determine input format "
-        "(expected a .pla or .blif file, or PLA/BLIF content)"
-    )
+    fmt = {".pla": "pla", ".blif": "blif"}.get(path.suffix.lower())
+    try:
+        return parse_network(path.read_text(), name=path.stem, fmt=fmt)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+@contextlib.contextmanager
+def _signals_cancel_drain():
+    """Route SIGINT/SIGTERM into a graceful engine drain while active.
+
+    The first signal requests cancellation
+    (:func:`repro.engine.executors.request_cancel`): the executors unwind
+    with :class:`RunInterrupted` at their next safe boundary, flushing any
+    configured checkpoint on the way out, and :func:`main` maps that to
+    exit code 130.  A second signal force-quits via
+    :class:`KeyboardInterrupt`.  Outside the main thread (server runner
+    threads, embedders) signals cannot be installed; the context is then
+    a no-op and the caller's own drain hooks apply.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    signals_seen = 0
+
+    def handler(signum: int, frame) -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen > 1:
+            raise KeyboardInterrupt
+        request_cancel()
+        print(
+            "repro: interrupt received; draining and checkpointing "
+            "(repeat to force quit)",
+            file=sys.stderr,
+        )
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        reset_cancel()
+
+
+def _failure_kind(exc: ReproError) -> str:
+    """Classify an error-exit exception for the report's failures array."""
+    if isinstance(exc, BudgetExceeded):
+        return "budget"
+    if isinstance(exc, RunInterrupted):
+        return "interrupted"
+    if isinstance(exc, CheckpointError):
+        return "checkpoint"
+    return "error"
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -179,36 +229,58 @@ def cmd_synth(args: argparse.Namespace) -> int:
         return res, good
 
     start = time.perf_counter()
-    if tracer is not None:
-        with observe.tracing(tracer):
-            result, ok = run()
-    else:
-        result, ok = run()
+    result = None
+    ok = False
+    error: ReproError | None = None
+    try:
+        with _signals_cancel_drain():
+            if tracer is not None:
+                with observe.tracing(tracer):
+                    result, ok = run()
+            else:
+                result, ok = run()
+    except ReproError as exc:
+        # The report below must still be written: an error exit without
+        # the requested --report file is a lost post-mortem.
+        error = exc
     elapsed = time.perf_counter() - start
 
     if tracer is not None:
+        if error is not None:
+            tracer.failure(kind=_failure_kind(error), error=str(error))
         if args.trace:
             print(format_tree(tracer), file=sys.stderr)
         if args.report:
+            meta = {
+                "circuit": net.name,
+                "input": str(path),
+                "k": args.k,
+                "mode": args.mode,
+                "structural": bool(args.structural),
+                "rugged": bool(args.rugged),
+                "jobs": args.jobs,
+                "bdd_backend": config.bdd_backend,
+                "verified": bool(ok) and error is None,
+                "wall_clock_seconds": elapsed,
+            }
+            if result is not None:
+                meta["luts"] = result.num_luts
+            if error is not None:
+                meta["error"] = str(error)
             report = build_report(
                 tracer,
-                meta={
-                    "circuit": net.name,
-                    "input": str(path),
-                    "k": args.k,
-                    "mode": args.mode,
-                    "structural": bool(args.structural),
-                    "rugged": bool(args.rugged),
-                    "jobs": args.jobs,
-                    "bdd_backend": config.bdd_backend,
-                    "luts": result.num_luts,
-                    "verified": bool(ok),
-                    "wall_clock_seconds": elapsed,
-                },
-                engine=result.engine_stats.as_dict(),
+                meta=meta,
+                engine=(
+                    result.engine_stats.as_dict()
+                    if result is not None
+                    else None
+                ),
             )
             Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
             print(f"report: {args.report}")
+
+    if error is not None:
+        raise error
 
     if not ok:
         print("ERROR: mapped network is NOT equivalent to the input", file=sys.stderr)
@@ -269,11 +341,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
         return batch, good
 
     start = time.perf_counter()
-    if tracer is not None:
-        with observe.tracing(tracer):
-            results, ok = run()
-    else:
-        results, ok = run()
+    results: list = []
+    ok: list = []
+    error: ReproError | None = None
+    try:
+        with _signals_cancel_drain():
+            if tracer is not None:
+                with observe.tracing(tracer):
+                    results, ok = run()
+            else:
+                results, ok = run()
+    except ReproError as exc:
+        # Keep going: the requested --report must be written even on an
+        # error exit (the exception re-raises after the reporting block).
+        error = exc
     elapsed = time.perf_counter() - start
 
     failures = 0
@@ -290,35 +371,65 @@ def cmd_batch(args: argparse.Namespace) -> int:
             out_dir = Path(args.output_dir)
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{net.name}.blif").write_text(write_blif(res.network))
-    print(f"batch:  {len(networks)} circuits, "
-          f"{sum(r.num_luts for r in mapped)} LUTs total "
-          f"(executor = {args.executor}, jobs = {args.jobs}, {elapsed:.1f}s)")
+    if error is None:
+        print(f"batch:  {len(networks)} circuits, "
+              f"{sum(r.num_luts for r in mapped)} LUTs total "
+              f"(executor = {args.executor}, jobs = {args.jobs}, "
+              f"{elapsed:.1f}s)")
 
     if tracer is not None:
+        if error is not None:
+            tracer.failure(kind=_failure_kind(error), error=str(error))
         if args.trace:
             print(format_tree(tracer), file=sys.stderr)
         if args.report:
+            meta = {
+                "circuits": ",".join(net.name for net in networks),
+                "k": args.k,
+                "mode": args.mode,
+                "jobs": args.jobs,
+                "luts": sum(r.num_luts for r in mapped),
+                "verified": failures == 0 and error is None,
+                "wall_clock_seconds": elapsed,
+            }
+            if error is not None:
+                meta["error"] = str(error)
             report = build_report(
                 tracer,
-                meta={
-                    "circuits": ",".join(net.name for net in networks),
-                    "k": args.k,
-                    "mode": args.mode,
-                    "jobs": args.jobs,
-                    "luts": sum(r.num_luts for r in mapped),
-                    "verified": failures == 0,
-                    "wall_clock_seconds": elapsed,
-                },
-                engine=_merge_engine_stats(results),
+                meta=meta,
+                engine=_merge_engine_stats(results) if results else None,
             )
             Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
             print(f"report: {args.report}")
+
+    if error is not None:
+        raise error
 
     if failures:
         print(f"ERROR: {failures} circuit(s) failed or NOT equivalent",
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP synthesis daemon (see docs/SERVING.md)."""
+    from repro.serve import ServerConfig, SynthesisServer
+
+    server = SynthesisServer(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            runners=args.runners,
+            backlog=args.backlog,
+            state_dir=args.state_dir,
+            cache_db=args.cache_db,
+            task_retries=args.task_retries,
+            fault_plan=args.inject_faults,
+        )
+    )
+    return server.serve_forever()
 
 
 def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
@@ -407,6 +518,35 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("-o", "--output-dir", metavar="DIR",
                        help="write each mapped netlist as DIR/<name>.blif")
     batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP synthesis daemon (see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="TCP port (default 8377; 0 picks a free port)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="worker processes shared by all requests")
+    serve.add_argument("--runners", type=int, default=2,
+                       help="concurrent synthesis runs (request threads "
+                            "multiplexed onto the one worker pool)")
+    serve.add_argument("--backlog", type=int, default=16,
+                       help="admission-queue bound; further submissions "
+                            "are rejected with HTTP 503 (default 16)")
+    serve.add_argument("--state-dir", metavar="DIR",
+                       help="persist job specs and checkpoints under DIR "
+                            "so a restarted server resumes in-flight jobs")
+    serve.add_argument("--cache-db", metavar="FILE",
+                       help="shared persistent result cache "
+                            "(see docs/CACHING.md)")
+    serve.add_argument("--task-retries", type=int, default=2, metavar="N",
+                       help="retries per failing group (default 2)")
+    serve.add_argument("--inject-faults", metavar="PLAN",
+                       help="deterministic fault plan applied to every job "
+                            "(testing only; see docs/RELIABILITY.md)")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -414,6 +554,16 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except RunInterrupted as exc:
+        # Graceful interrupt: checkpoints were flushed on the way out;
+        # force the shared pool down so orphaned workers don't linger.
+        shutdown_pool(force=True)
+        print(f"repro: interrupted: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        shutdown_pool(force=True)
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

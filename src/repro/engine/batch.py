@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro import observe
 from repro.engine.executors import ProcessExecutor
 from repro.engine.faults import NO_FAULTS
-from repro.errors import ReproError
+from repro.errors import ReproError, RunInterrupted
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
     from repro.mapping.flow import FlowConfig, FlowResult
@@ -55,6 +55,8 @@ def synthesize_batch(
         for net in networks:
             try:
                 results.append(synthesize(net, config))
+            except RunInterrupted:
+                raise  # whole-run teardown, never a per-circuit failure
             except ReproError as exc:
                 if fail_fast:
                     raise
@@ -97,6 +99,8 @@ def synthesize_batch(
                     prep.engine, subs, faults=faults
                 )
                 results.append(prep.finish(signals))
+            except RunInterrupted:
+                raise  # whole-run teardown, never a per-circuit failure
             except ReproError as exc:
                 if fail_fast:
                     raise

@@ -36,7 +36,9 @@ behind the two calls the flows need: ``run_groups`` and ``stats``.
 
 from __future__ import annotations
 
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -59,13 +61,45 @@ from repro.engine.faults import NO_FAULTS, ResolvedFaults, perform_fault
 from repro.engine.policies import make_policy
 from repro.engine.tasks import EngineStats, TaskGraph
 from repro.engine.worker import GroupPayload, GroupResult, run_group
-from repro.errors import FaultInjected, GroupFailedError
+from repro.errors import FaultInjected, GroupFailedError, RunInterrupted
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
     from repro.mapping.flow import FlowConfig
 
 #: Hard ceiling on one backoff sleep, whatever the retry count.
 MAX_BACKOFF_SECONDS = 2.0
+
+#: Seconds between cancel-event checks while waiting on a pool future.
+CANCEL_POLL_SECONDS = 0.1
+
+
+# Process-wide cancellation flag.  Signal handlers (CLI) and the server's
+# drain set it from another context; the executors check it at safe
+# boundaries -- task pops in the serial drain, future waits in the process
+# drain -- and unwind with RunInterrupted, flushing checkpoints and
+# cancelling outstanding futures on the way out.
+_CANCEL = threading.Event()
+
+
+def request_cancel() -> None:
+    """Ask every in-flight drain to stop at its next safe boundary.
+
+    Safe to call from signal handlers and other threads.  The drains
+    raise :class:`repro.errors.RunInterrupted` once they notice; configured
+    checkpoints are flushed before the exception escapes, so an
+    interrupted run can be resumed to byte-identical output.
+    """
+    _CANCEL.set()
+
+
+def cancel_requested() -> bool:
+    """Whether a cancellation has been requested and not yet cleared."""
+    return _CANCEL.is_set()
+
+
+def reset_cancel() -> None:
+    """Clear the cancellation flag (call before starting a fresh run)."""
+    _CANCEL.clear()
 
 
 class Executor(Protocol):
@@ -225,6 +259,10 @@ class SerialExecutor:
         # which is the depth-first order of the recursion it replaces.
         stack = list(reversed(roots))
         while stack:
+            if cancel_requested():
+                raise RunInterrupted(
+                    "serial drain cancelled (signal or server drain)"
+                )
             graph.note_queue_depth(len(stack))
             task = stack.pop()
             with observe.span(task.kind):
@@ -435,6 +473,10 @@ class ProcessExecutor:
         results: list[list[str]] = []
         try:
             for remaining, sub in enumerate(subs):
+                if cancel_requested():
+                    raise RunInterrupted(
+                        "process drain cancelled (signal or server drain)"
+                    )
                 engine.graph.note_queue_depth(len(subs) - remaining)
                 if sub.cached is not None:
                     if not sub.cache_hit:
@@ -469,10 +511,23 @@ class ProcessExecutor:
                     if ckpt is not None:
                         ckpt.close()
                     perform_fault(abort, in_worker=False)
+        except RunInterrupted:
+            # Outstanding futures must not keep pool workers (and the
+            # interpreter's exit machinery) busy after the run is dead.
+            self._cancel_outstanding(subs)
+            raise
         finally:
             if ckpt is not None:
                 ckpt.close()
         return results
+
+    @staticmethod
+    def _cancel_outstanding(subs: list[Submission]) -> None:
+        """Cancel every not-yet-collected pool future (cancelled drain)."""
+        for sub in subs:
+            future = sub.future
+            if future is not None:
+                future.cancel()
 
     # ------------------------------------------------------------------
     # failure handling
@@ -492,7 +547,14 @@ class ProcessExecutor:
         while True:
             started = time.perf_counter()
             try:
-                return sub.future.result(timeout=config.task_timeout)
+                return self._wait_interruptible(
+                    sub.future, config.task_timeout
+                )
+            except RunInterrupted:
+                # Not a task failure: the whole drain is being torn down
+                # (collect_groups cancels the other futures and flushes
+                # the checkpoint on the way out).
+                raise
             except FutureTimeoutError:
                 kind = "timeout"
                 error = f"group exceeded task_timeout={config.task_timeout:g}s"
@@ -521,6 +583,34 @@ class ProcessExecutor:
                 )
             )
             sub.future = self._pool_submit(self._armed(sub, faults))
+
+    @staticmethod
+    def _wait_interruptible(future, timeout: float | None):
+        """Wait on one pool future, polling the cancellation flag.
+
+        ``concurrent.futures`` waits are not interruptible by another
+        thread, so the wait is sliced into :data:`CANCEL_POLL_SECONDS`
+        chunks: a requested cancel surfaces within one slice as
+        :class:`RunInterrupted`, and ``timeout`` (the per-attempt
+        ``FlowConfig.task_timeout``) still raises the pool's
+        ``TimeoutError`` with unchanged semantics.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if cancel_requested():
+                raise RunInterrupted(
+                    "process drain cancelled (signal or server drain)"
+                )
+            wait = CANCEL_POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FutureTimeoutError()
+                wait = min(wait, remaining)
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeoutError:
+                continue  # poll slice elapsed; re-check cancel/deadline
 
     def _armed(self, sub: Submission, faults: ResolvedFaults) -> GroupPayload:
         """The submission's payload with the attempt's planned fault, if any."""
@@ -569,6 +659,8 @@ class ProcessExecutor:
             (signals,) = SerialExecutor().drain_groups(
                 engine.emitter, engine.graph, [sub.f_nodes]
             )
+        except RunInterrupted:
+            raise  # drain teardown, not a group failure
         except Exception as exc:
             self._note_failure(
                 sub, "degraded", f"{type(exc).__name__}: {exc}", started
@@ -621,28 +713,76 @@ def merge_group_result(engine: "Engine", result: GroupResult) -> list[str]:
 
 # Lazily created, process-wide engine pool (fork-cheap workers reused
 # across groups and batch runs; rebuilt only when ``jobs`` changes or a
-# worker crash breaks the pool).
+# worker crash breaks the pool).  The lock makes creation/teardown safe
+# when several server threads drain concurrently on the shared pool.
 _POOL: ProcessPoolExecutor | None = None
 _POOL_JOBS = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _init_worker() -> None:
+    """Reset fork-inherited coordinator state in a fresh pool worker.
+
+    Workers fork with the CLI/server's drain signal handlers and with a
+    copy of the cancellation event.  Left in place, an inherited SIGTERM
+    handler would swallow the ``terminate()`` of a forced shutdown (the
+    worker prints "draining" and keeps running instead of dying), and a
+    cancel flag that was set at fork time would make every task in the
+    fresh worker die with :class:`RunInterrupted`.  SIGINT is ignored
+    outright: a terminal Ctrl-C reaches the whole process group, and the
+    drain is the coordinator's job alone.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    reset_cancel()
 
 
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
     """The shared worker pool, (re)built for the requested width."""
     global _POOL, _POOL_JOBS
-    if _POOL is None or _POOL_JOBS != jobs:
-        if _POOL is not None:
-            _POOL.shutdown(wait=False)
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
-        _POOL_JOBS = jobs
-    return _POOL
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_JOBS != jobs:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker
+            )
+            _POOL_JOBS = jobs
+        return _POOL
 
 
 def _reset_pool() -> None:
     """Discard a broken pool so the next ``_get_pool`` builds a fresh one."""
     global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False)
-        _POOL = None
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+            _POOL = None
+
+
+def shutdown_pool(force: bool = False) -> None:
+    """Shut the shared worker pool down (next use builds a fresh one).
+
+    With ``force`` pending futures are cancelled and the worker processes
+    are terminated outright -- an interrupted run must not leave orphaned
+    workers grinding on cancelled groups, nor block interpreter exit on
+    the pool's atexit join.  Without ``force`` the pool drains normally.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is None:
+        return
+    if not force:
+        pool.shutdown(wait=True)
+        return
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # already dead / closed handle
+            pass
 
 
 def make_executor(config: "FlowConfig") -> Executor:

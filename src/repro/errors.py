@@ -102,6 +102,19 @@ class GroupFailedError(ReproError):
         return (GroupFailedError, (self.group, self.failures))
 
 
+class RunInterrupted(ReproError):
+    """The run was cancelled mid-drain and stopped at a safe boundary.
+
+    Raised by the executors when a cancellation was requested
+    (:func:`repro.engine.executors.request_cancel`) -- by the CLI's
+    SIGINT/SIGTERM handlers or by the server's graceful drain.  By the
+    time it propagates, outstanding pool futures have been cancelled and
+    any configured checkpoint has been flushed, so the run can be resumed
+    with ``--resume`` to byte-identical output.  The CLI maps it to exit
+    code 130 (the conventional interrupted-by-signal status).
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint file cannot be used to resume the current run.
 

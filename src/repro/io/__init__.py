@@ -3,9 +3,53 @@
 The paper's benchmarks are MCNC PLA files and ISCAS/MCNC BLIF netlists.
 These parsers let the genuine files be dropped into the benchmark registry;
 the writers export decomposed/mapped netlists for inspection by other tools.
+
+:func:`parse_network` is the format-sniffing front door shared by the CLI
+(which reads files) and the server (which receives circuit text over
+HTTP): given raw text and an optional explicit format it dispatches to
+the right parser, or raises a one-line :class:`ValueError`.
 """
+
+from __future__ import annotations
 
 from repro.io.blif import parse_blif, write_blif
 from repro.io.pla import parse_pla, write_pla
 
-__all__ = ["parse_blif", "parse_pla", "write_blif", "write_pla"]
+#: First tokens that identify BLIF content when no format is given.
+_BLIF_TOKENS = {".model", ".inputs", ".outputs", ".names", ".exdc"}
+
+
+def parse_network(text: str, name: str = "network", fmt: str | None = None):
+    """Parse circuit ``text`` as PLA or BLIF, sniffing when ``fmt`` is None.
+
+    ``fmt`` may be ``"pla"`` or ``"blif"`` to skip sniffing (an explicit
+    file suffix or wire-format field is authoritative -- in particular a
+    BLIF file beginning with ``.inputs`` must never be mis-sniffed as PLA,
+    since both formats start with ``.i``...).  ``name`` names the network
+    for PLA sources, which carry no name of their own.  Unrecognizable
+    content or an unknown ``fmt`` raises a one-line :class:`ValueError`.
+    """
+    if fmt is not None:
+        if fmt == "pla":
+            return parse_pla(text, name=name)
+        if fmt == "blif":
+            return parse_blif(text)
+        raise ValueError(f"unknown circuit format {fmt!r} (have: pla, blif)")
+    first_token = text.lstrip().split(None, 1)[0] if text.strip() else ""
+    if first_token == ".i":
+        return parse_pla(text, name=name)
+    if first_token in _BLIF_TOKENS:
+        return parse_blif(text)
+    raise ValueError(
+        "cannot determine input format "
+        "(expected a .pla or .blif file, or PLA/BLIF content)"
+    )
+
+
+__all__ = [
+    "parse_blif",
+    "parse_network",
+    "parse_pla",
+    "write_blif",
+    "write_pla",
+]

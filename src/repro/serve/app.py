@@ -1,0 +1,301 @@
+"""The HTTP face of the synthesis daemon (stdlib ``http.server`` only).
+
+Endpoints (all JSON; see ``docs/SERVING.md`` for the wire schemas):
+
+- ``POST /jobs`` -- submit a circuit; 202 with the job id, 400 on a
+  malformed body, 503 when the admission queue is full or the server is
+  draining.
+- ``GET /jobs/<id>`` -- poll one job; the body is the job envelope
+  (``repro-serve-job/1`` wrapping a ``repro-run-report/3`` report) and
+  the HTTP status mirrors the job status (429 budget-exceeded, 503
+  interrupted, 500 failed, 404 unknown).
+- ``GET /jobs`` -- list every known job id and status.
+- ``GET /healthz`` -- 200 while serving, 503 while draining.
+
+Shutdown is a **graceful drain** (SIGINT/SIGTERM or
+:meth:`SynthesisServer.stop`): admission closes, the engine-wide cancel
+flag is raised (:func:`repro.engine.executors.request_cancel` -- the same
+hook the CLI's signal handlers use), runners checkpoint their in-flight
+jobs and exit, the shared result store and worker pool shut down, and
+the listener stops.  A server restarted on the same ``--state-dir``
+re-enqueues the interrupted jobs and resumes them from their checkpoints
+to byte-identical BLIF.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cache.store import close_store
+from repro.engine.executors import request_cancel, reset_cancel, shutdown_pool
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    JobRegistry,
+    JobRunner,
+    QueueFull,
+    RunnerConfig,
+)
+from repro.serve.wire import JobRequest
+from repro.serve.wire import SCHEMA_ID, WireError, parse_submission
+
+#: Largest accepted request body, in bytes (rejects accidental uploads).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` needs to run.
+
+    Attributes:
+        host: bind address.
+        port: TCP port (0 picks a free one; see ``SynthesisServer.start``).
+        jobs: worker processes shared by all requests.
+        runners: concurrent synthesis runs.
+        backlog: admission-queue bound (excess submissions get 503).
+        state_dir: persistence root for job specs and checkpoints.
+        cache_db: shared persistent result cache, if any.
+        task_retries: per-group retry budget.
+        fault_plan: fault-injection plan applied to every job (testing).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    jobs: int = 2
+    runners: int = 2
+    backlog: int = 16
+    state_dir: str | None = None
+    cache_db: str | None = None
+    task_retries: int = 2
+    fault_plan: str | None = None
+
+
+class _JobHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a reference to the synthesis server."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Set by :class:`SynthesisServer` right after construction.
+    synthesis: "SynthesisServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler translating HTTP onto the job registry/queue."""
+
+    server: _JobHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def _send_json(self, status: int, body: dict) -> None:
+        """Serialize one JSON response with correct framing."""
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, message: str) -> None:
+        """One-line JSON error body."""
+        self._send_json(status, {"schema": SCHEMA_ID, "error": message})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """``POST /jobs``: validate, admit, 202 with the job id."""
+        app = self.server.synthesis
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"unknown endpoint {self.path!r}")
+            return
+        if app.draining:
+            self._error(503, "server is draining; resubmit after restart")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "request body required (JSON submission)")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            request = parse_submission(payload)
+        except (WireError, ValueError, UnicodeDecodeError) as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            job = app.admit(request)
+        except QueueFull as exc:
+            self._error(503, str(exc))
+            return
+        self._send_json(
+            202, {"schema": SCHEMA_ID, "id": job.id, "status": job.status}
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """``GET /jobs[/<id>]`` and ``GET /healthz``."""
+        app = self.server.synthesis
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            if app.draining:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+            return
+        if path == "/jobs":
+            jobs = [
+                {"id": job.id, "status": job.status}
+                for job in app.registry.all()
+            ]
+            self._send_json(200, {"schema": SCHEMA_ID, "jobs": jobs})
+            return
+        if path.startswith("/jobs/"):
+            job = app.registry.get(path[len("/jobs/"):])
+            if job is None:
+                self._error(404, "unknown job id")
+                return
+            body, status = job.envelope()
+            self._send_json(status, body)
+            return
+        self._error(404, f"unknown endpoint {self.path!r}")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter (tests and CI logs)."""
+
+
+class SynthesisServer:
+    """The long-lived synthesis daemon behind ``repro serve``.
+
+    Construct with a :class:`ServerConfig`, then either call
+    :meth:`serve_forever` (CLI: installs signal handlers, blocks until
+    drained) or drive it in-process with :meth:`start` / :meth:`stop`
+    (tests).
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        """Wire up registry, queue, and runners (nothing starts yet)."""
+        self.config = config
+        self.registry = JobRegistry(config.state_dir)
+        self.queue = JobQueue(config.backlog)
+        self.draining = False
+        self._runner_config = RunnerConfig(
+            jobs=config.jobs,
+            cache_db=config.cache_db,
+            task_retries=config.task_retries,
+            fault_plan=config.fault_plan,
+        )
+        self._runners: list[JobRunner] = []
+        self._httpd: _JobHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._drain_lock = threading.Lock()
+        self._drained = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) -- valid after :meth:`start`."""
+        assert self._httpd is not None, "server not started"
+        return self._httpd.server_address[:2]
+
+    def admit(self, request: JobRequest) -> Job:
+        """Register and enqueue one submission (raises QueueFull)."""
+        job = self.registry.add(request)
+        try:
+            self.queue.submit(job)
+        except QueueFull:
+            job.transition("failed", "rejected: admission queue full")
+            self.registry.save(job)
+            raise
+        return job
+
+    def start(self) -> tuple[str, int]:
+        """Bind the listener, recover persisted jobs, start the runners.
+
+        Returns the bound (host, port); with ``port=0`` this is where the
+        OS-assigned port surfaces.  Unfinished jobs from a previous
+        process re-enter the queue ahead of new submissions.
+        """
+        reset_cancel()  # a fresh server must not inherit a stale cancel
+        self._httpd = _JobHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.synthesis = self
+        for job in self.registry.recover():
+            self.queue.submit(job)
+        for i in range(max(1, self.config.runners)):
+            runner = JobRunner(
+                self.queue,
+                self.registry,
+                self._runner_config,
+                name=f"repro-runner-{i}",
+            )
+            runner.start()
+            self._runners.append(runner)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-listener",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Gracefully drain and shut everything down (idempotent).
+
+        Stops admission, cancels in-flight engine drains (checkpoints
+        flush on the way out), joins the runners, closes the shared
+        result store, force-stops the worker pool, and stops the
+        listener.
+        """
+        with self._drain_lock:
+            if self.draining:
+                # A concurrent drain is in flight; wait for it to finish
+                # so callers can rely on "stop() returned = fully down".
+                self._drained.wait()
+                return
+            self.draining = True
+        request_cancel()
+        for runner in self._runners:
+            runner.request_stop()
+        for runner in self._runners:
+            runner.join()
+        if self.config.cache_db is not None:
+            close_store(self.config.cache_db)
+        shutdown_pool(force=True)
+        reset_cancel()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+        self._drained.set()
+
+    def serve_forever(self) -> int:
+        """CLI entry point: serve until SIGINT/SIGTERM, then drain.
+
+        The signal handler hands the drain to a helper thread --
+        :meth:`stop` must not run on the thread executing the handler,
+        which may be blocked inside the listener it is about to stop.
+        """
+        host, port = self.start()
+
+        def _drain(signum: int, frame) -> None:
+            threading.Thread(
+                target=self.stop, name="repro-serve-drain", daemon=True
+            ).start()
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _drain)
+        print(f"repro serve: listening on http://{host}:{port}", flush=True)
+        try:
+            assert self._serve_thread is not None
+            while self._serve_thread.is_alive():
+                self._serve_thread.join(timeout=0.2)
+        finally:
+            self.stop()  # no-op when the drain already ran
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+        print("repro serve: drained", flush=True)
+        return 0

@@ -1,0 +1,411 @@
+"""Job lifecycle of the synthesis daemon: queue, runners, persistence.
+
+A *job* is one synthesis request moving through the statuses of
+:data:`repro.serve.wire.JOB_STATUSES`.  Submissions enter a **bounded
+admission queue** (:class:`JobQueue`) -- a full queue rejects the request
+with :class:`QueueFull` (HTTP 503) so overload fails fast instead of
+piling unbounded work onto the process.  A fixed set of **runner
+threads** drains the queue; every runner drives the ordinary library
+flow (``parse -> rugged -> synthesize -> verify -> write_blif``) with
+``executor="process"``, so concurrent requests multiplex onto the one
+shared worker pool at group granularity -- exactly the batch dispatch
+behaviour, and byte-identical to a one-shot CLI run of the same circuit.
+
+Each job gets its own :class:`repro.observe.Tracer` (context-local, so
+runner threads never share spans) with the request's soft budgets armed
+on the ``synthesize`` span; a blown budget surfaces as the
+``budget-exceeded`` status (HTTP 429), mirroring the CLI's exit code 3.
+
+With a ``state_dir`` every job persists: the spec at admission, the
+checkpoint during the run (the engine's ordinary
+:class:`repro.engine.checkpoint.Checkpointer`), and the final envelope at
+completion.  :meth:`JobRegistry.recover` re-enqueues unfinished jobs at
+startup, so a drained-and-restarted server resumes them -- through the
+checkpoint replay path -- to byte-identical BLIF.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import observe
+from repro.algebraic.rugged import rugged
+from repro.engine import parse_fault_plan
+from repro.errors import BudgetExceeded, ReproError, RunInterrupted
+from repro.io import parse_network
+from repro.io.blif import write_blif
+from repro.mapping.flow import FlowConfig, synthesize, verify_flow
+from repro.observe import Budget, Tracer, build_report
+from repro.serve.wire import JobRequest, job_envelope
+
+#: Seconds a runner blocks on the queue before re-checking its stop flag.
+RUNNER_POLL_SECONDS = 0.2
+
+#: Job statuses that need no further work (envelope is final).
+FINISHED_STATUSES = ("done", "failed", "budget-exceeded")
+
+
+class QueueFull(Exception):
+    """The bounded admission queue rejected a submission (HTTP 503)."""
+
+
+@dataclass
+class Job:
+    """One synthesis request and everything it has produced so far.
+
+    Attributes:
+        id: opaque job identifier (hex, URL-safe).
+        request: the validated submission.
+        status: current lifecycle status (:data:`wire.JOB_STATUSES`).
+        error: message of the failure/budget/interrupt, if any.
+        blif: mapped netlist text (``done`` jobs only).
+        report: final ``repro-run-report/3`` payload (finished jobs).
+        tracer: the live tracer while the job runs (for progress
+            snapshots); dropped once the final report is built.
+    """
+
+    id: str
+    request: JobRequest
+    status: str = "queued"
+    error: str | None = None
+    blif: str | None = None
+    report: dict | None = None
+    tracer: Tracer | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def envelope(self) -> tuple[dict, int]:
+        """The job's current wire envelope: (JSON body, HTTP status)."""
+        with self._lock:
+            report = self.report
+            if report is None and self.tracer is not None:
+                report = self._snapshot_report()
+            return job_envelope(
+                self.id, self.status, report, self.blif, self.error
+            )
+
+    def _snapshot_report(self) -> dict | None:
+        """Best-effort progress report while the job is mid-run.
+
+        The tracer belongs to the runner thread; serializing it here
+        races benignly with span updates, so any exception (e.g. a dict
+        mutating during iteration) degrades to "no report yet" rather
+        than failing the poll.
+        """
+        try:
+            return build_report(
+                self.tracer, meta={"circuit": self.request.name}
+            )
+        except Exception:  # noqa: BLE001 - racy snapshot is best-effort
+            return None
+
+    def transition(self, status: str, error: str | None = None) -> None:
+        """Move the job to ``status`` (optionally recording an error)."""
+        with self._lock:
+            self.status = status
+            if error is not None:
+                self.error = error
+
+
+class JobRegistry:
+    """All jobs this server knows, plus their on-disk persistence.
+
+    Thread-safe: the HTTP handler threads read envelopes while runner
+    threads transition statuses.  With no ``state_dir`` the registry is
+    memory-only and jobs die with the process.
+    """
+
+    def __init__(self, state_dir: str | None = None) -> None:
+        """Create the registry, rooting persistence under ``state_dir``."""
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._state_dir = Path(state_dir) if state_dir else None
+        if self._state_dir is not None:
+            (self._state_dir / "jobs").mkdir(parents=True, exist_ok=True)
+
+    def add(self, request: JobRequest) -> Job:
+        """Register (and persist) a new queued job."""
+        job = Job(id=uuid.uuid4().hex[:12], request=request)
+        with self._lock:
+            self._jobs[job.id] = job
+        self.save(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with ``job_id``, or None."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all(self) -> list[Job]:
+        """Every known job (insertion order)."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def checkpoint_path(self, job: Job) -> str | None:
+        """Where the engine checkpoints this job (None: no state dir)."""
+        if self._state_dir is None:
+            return None
+        return str(self._state_dir / "jobs" / f"{job.id}.ckpt")
+
+    def save(self, job: Job) -> None:
+        """Persist the job's spec and outcome (atomic rename)."""
+        if self._state_dir is None:
+            return
+        path = self._state_dir / "jobs" / f"{job.id}.json"
+        payload = {
+            "id": job.id,
+            "request": job.request.as_dict(),
+            "status": job.status,
+            "error": job.error,
+            "blif": job.blif,
+            "report": job.report,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload) + "\n")
+        os.replace(tmp, path)
+
+    def discard_checkpoint(self, job: Job) -> None:
+        """Drop the job's engine checkpoint (after a finished run)."""
+        ckpt = self.checkpoint_path(job)
+        if ckpt is not None:
+            try:
+                os.unlink(ckpt)
+            except FileNotFoundError:
+                pass
+
+    def recover(self) -> list[Job]:
+        """Reload persisted jobs; return the unfinished ones to re-enqueue.
+
+        Finished jobs come back with their stored envelope (so clients
+        can still poll them after a restart).  Queued, running, and
+        interrupted jobs return to ``queued``: their next run resumes
+        from the engine checkpoint when one survived, replaying completed
+        groups to byte-identical output.
+        """
+        if self._state_dir is None:
+            return []
+        pending: list[Job] = []
+        for path in sorted((self._state_dir / "jobs").glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                request = JobRequest(**payload["request"])
+                job = Job(id=payload["id"], request=request)
+            except (ValueError, TypeError, KeyError):
+                continue  # unreadable spec: skip, never crash startup
+            if payload.get("status") in FINISHED_STATUSES:
+                job.status = payload["status"]
+                job.error = payload.get("error")
+                job.blif = payload.get("blif")
+                job.report = payload.get("report")
+            else:
+                pending.append(job)
+            with self._lock:
+                self._jobs[job.id] = job
+        return pending
+
+
+class JobQueue:
+    """Bounded admission queue feeding the runner threads."""
+
+    def __init__(self, backlog: int) -> None:
+        """Admit at most ``backlog`` queued jobs at a time."""
+        self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=max(1, backlog))
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` when over backlog."""
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise QueueFull(
+                "admission queue full (server overloaded; retry later)"
+            ) from None
+
+    def next_job(self) -> Job | None:
+        """The next queued job, or None after a short poll interval."""
+        try:
+            return self._queue.get(timeout=RUNNER_POLL_SECONDS)
+        except queue.Empty:
+            return None
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Flow knobs shared by every job this server runs.
+
+    Attributes:
+        jobs: worker-pool width shared by all concurrent requests.
+        cache_db: path of the shared persistent result cache, if any.
+        task_retries: per-group retry budget.
+        fault_plan: fault-injection plan string (testing only).
+    """
+
+    jobs: int = 2
+    cache_db: str | None = None
+    task_retries: int = 2
+    fault_plan: str | None = None
+
+
+def flow_config(
+    request: JobRequest,
+    runner: RunnerConfig,
+    checkpoint_path: str | None,
+) -> FlowConfig:
+    """The :class:`FlowConfig` equivalent to a one-shot CLI invocation.
+
+    Only semantic fields come from the request; execution fields (pool
+    width, retries, checkpoint location) come from the server, and none
+    of them affect the output bytes (see ``docs/ARCHITECTURE.md``).
+    Resume kicks in automatically when a previous attempt left its
+    checkpoint behind.
+    """
+    resume_from = None
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        resume_from = checkpoint_path
+    return FlowConfig(
+        k=request.k,
+        mode=request.mode,
+        strict=request.strict,
+        jobs=runner.jobs,
+        executor="process",
+        task_retries=runner.task_retries,
+        fault_plan=(
+            parse_fault_plan(runner.fault_plan)
+            if runner.fault_plan
+            else None
+        ),
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+        cache_db=runner.cache_db,
+    )
+
+
+def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
+    """Execute one job to a terminal (or interrupted) status.
+
+    Mirrors ``repro synth``: same flow calls, same span names, same
+    budget semantics -- so the BLIF is byte-identical to the CLI and the
+    report is the same ``repro-run-report/3`` document.  Every exit path
+    (success, failure, blown budget, interrupt) persists the job, and a
+    failed or blown run still carries a partial report with the
+    ``failures`` array populated.
+    """
+    request = job.request
+    budgets: dict[str, Budget] = {}
+    if request.budget_seconds is not None or request.budget_nodes is not None:
+        budgets["synthesize"] = Budget(
+            seconds=request.budget_seconds, nodes=request.budget_nodes
+        )
+    tracer = Tracer(budgets=budgets)
+    job.tracer = tracer
+    job.transition("running")
+    started = time.perf_counter()
+    result = None
+    ok = False
+    error: ReproError | ValueError | None = None
+    try:
+        with observe.tracing(tracer):
+            net = parse_network(
+                request.circuit, name=request.name, fmt=request.fmt
+            )
+            reference = net.copy()
+            if request.rugged:
+                rugged(net)
+            config = flow_config(
+                request, runner, registry.checkpoint_path(job)
+            )
+            with observe.span("synthesize"):
+                result = synthesize(net, config)
+            with observe.span("verify"):
+                ok = verify_flow(reference, result)
+    except (ReproError, ValueError) as exc:
+        error = exc
+    elapsed = time.perf_counter() - started
+
+    if error is not None:
+        kind = "error"
+        status = "failed"
+        if isinstance(error, BudgetExceeded):
+            kind, status = "budget", "budget-exceeded"
+        elif isinstance(error, RunInterrupted):
+            kind, status = "interrupted", "interrupted"
+        tracer.failure(kind=kind, error=str(error))
+    elif not ok:
+        error = ReproError("mapped network is NOT equivalent to the input")
+        tracer.failure(kind="error", error=str(error))
+        status = "failed"
+    else:
+        status = "done"
+
+    meta = {
+        "circuit": request.name,
+        "k": request.k,
+        "mode": request.mode,
+        "rugged": request.rugged,
+        "verified": ok and error is None,
+        "wall_clock_seconds": elapsed,
+    }
+    if result is not None:
+        meta["luts"] = result.num_luts
+    if error is not None:
+        meta["error"] = str(error)
+    report = build_report(
+        tracer,
+        meta=meta,
+        engine=result.engine_stats.as_dict() if result is not None else None,
+    )
+    with job._lock:
+        job.report = report
+        job.tracer = None
+        if status == "done" and result is not None:
+            job.blif = write_blif(result.network)
+        job.status = status
+        if error is not None:
+            job.error = str(error)
+    if status != "interrupted":
+        # Interrupted jobs keep their checkpoint: it is the resume state.
+        registry.discard_checkpoint(job)
+    registry.save(job)
+
+
+class JobRunner(threading.Thread):
+    """One synthesis runner thread draining the admission queue."""
+
+    def __init__(
+        self,
+        jobs: JobQueue,
+        registry: JobRegistry,
+        runner: RunnerConfig,
+        name: str = "repro-runner",
+    ) -> None:
+        """Create the runner (daemonic; start with ``.start()``)."""
+        super().__init__(name=name, daemon=True)
+        self._queue = jobs
+        self._registry = registry
+        self._runner = runner
+        self._stop_event = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask the runner to exit after its current job."""
+        self._stop_event.set()
+
+    def run(self) -> None:
+        """Drain jobs until stopped (never lets one job kill the thread)."""
+        while not self._stop_event.is_set():
+            job = self._queue.next_job()
+            if job is None:
+                continue
+            try:
+                run_job(job, self._registry, self._runner)
+            except Exception as exc:  # noqa: BLE001 - runner must survive
+                job.transition("failed", f"{type(exc).__name__}: {exc}")
+                self._registry.save(job)

@@ -36,6 +36,7 @@ from pathlib import Path
 DEFAULT_TARGETS = (
     "src/repro/engine",
     "src/repro/cache",
+    "src/repro/serve",
     "src/repro/bdd/transfer.py",
     "src/repro/bdd/arena.py",
     "src/repro/bdd/backend.py",

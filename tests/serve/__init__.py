@@ -1,0 +1,1 @@
+"""Tests of the HTTP synthesis daemon (repro.serve)."""

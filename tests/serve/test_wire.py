@@ -1,0 +1,88 @@
+"""Wire-schema tests: submission validation and job envelopes."""
+
+import pytest
+
+from repro.serve import (
+    JOB_STATUSES,
+    SCHEMA_ID,
+    STATUS_HTTP,
+    JobRequest,
+    WireError,
+    job_envelope,
+    parse_submission,
+)
+
+
+class TestParseSubmission:
+    def test_minimal_submission(self):
+        req = parse_submission({"circuit": ".i 1\n.o 1\n1 1\n.e\n"})
+        assert isinstance(req, JobRequest)
+        assert req.k == 5 and req.mode == "multi"
+        assert not req.rugged and not req.strict
+        assert req.budget_seconds is None and req.budget_nodes is None
+
+    def test_all_knobs(self):
+        req = parse_submission(
+            {
+                "circuit": "x",
+                "name": "foo",
+                "fmt": "pla",
+                "k": 4,
+                "mode": "single",
+                "rugged": True,
+                "strict": True,
+                "budget_seconds": 1.5,
+                "budget_nodes": 1000,
+            }
+        )
+        assert req.name == "foo" and req.fmt == "pla"
+        assert req.k == 4 and req.mode == "single"
+        assert req.rugged and req.strict
+        assert req.budget_seconds == 1.5 and req.budget_nodes == 1000
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            [],
+            {},
+            {"circuit": ""},
+            {"circuit": "   "},
+            {"circuit": 5},
+            {"circuit": "x", "typo_knob": 1},
+            {"circuit": "x", "k": "five"},
+            {"circuit": "x", "k": True},
+            {"circuit": "x", "k": 1},
+            {"circuit": "x", "mode": "turbo"},
+            {"circuit": "x", "fmt": "verilog"},
+            {"circuit": "x", "rugged": "yes"},
+            {"circuit": "x", "budget_nodes": 3.5},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(WireError):
+            parse_submission(payload)
+
+    def test_round_trips_as_dict(self):
+        req = parse_submission({"circuit": "x", "k": 6})
+        assert JobRequest(**req.as_dict()) == req
+
+
+class TestJobEnvelope:
+    def test_every_status_has_an_http_mapping(self):
+        assert set(STATUS_HTTP) == set(JOB_STATUSES)
+        for status in JOB_STATUSES:
+            body, http = job_envelope("abc", status)
+            assert body["schema"] == SCHEMA_ID
+            assert body["id"] == "abc" and body["status"] == status
+            assert http == STATUS_HTTP[status]
+
+    def test_budget_maps_to_429_and_interrupt_to_503(self):
+        assert job_envelope("j", "budget-exceeded")[1] == 429
+        assert job_envelope("j", "interrupted")[1] == 503
+        assert job_envelope("j", "failed")[1] == 500
+        assert job_envelope("j", "done")[1] == 200
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            job_envelope("j", "exploded")

@@ -216,11 +216,21 @@ class TestObservability:
         assert main(["synth", str(pla_file), "--trace", "-o", str(traced_out)]) == 0
         assert plain_out.read_text() == traced_out.read_text()
 
-    def test_node_budget_exceeded_exits_3(self, pla_file, capsys):
-        rc = main(["synth", str(pla_file), "--budget-nodes", "5"])
+    def test_node_budget_exceeded_exits_3(self, pla_file, tmp_path, capsys):
+        report_path = tmp_path / "budget.json"
+        rc = main(["synth", str(pla_file), "--budget-nodes", "5",
+                   "--report", str(report_path)])
         assert rc == 3
         err = capsys.readouterr().err
         assert "nodes budget" in err
+        # Regression (ISSUE 8 satellite 2): an error exit used to unwind
+        # past the report block, silently dropping the requested
+        # --report.  A partial report must land on *every* exit.
+        payload = validate_report(json.loads(report_path.read_text()))
+        assert payload["meta"]["verified"] is False
+        assert "budget" in payload["meta"]["error"]
+        assert "budget" in [f["kind"] for f in payload["failures"]]
+        assert "luts" not in payload["meta"]  # nothing was mapped
 
     def test_generous_budget_passes(self, pla_file, capsys):
         rc = main(["synth", str(pla_file), "--budget-seconds", "3600",
@@ -373,6 +383,77 @@ class TestReliabilityCli:
         assert "design: " in out and "verified" in out
         written = [p.name for p in out_dir.glob("*.blif")]
         assert written == ["design.blif"]
+
+
+class TestInterruptCli:
+    """SIGINT/SIGTERM drain: exit 130, no orphans, resumable checkpoint.
+
+    Regression for ISSUE 8 satellite 1: a signal used to tear the CLI
+    down with a KeyboardInterrupt traceback, leaving pool workers
+    orphaned and the checkpoint unflushed.  The drain contract is
+    exercised in a real subprocess because signal disposition is
+    per-process state.
+    """
+
+    @staticmethod
+    def _spawn_stalled_run(rd53_file, tmp_path):
+        """Start a CLI run whose groups 1 and 2 sleep forever in workers."""
+        import os
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        ck = tmp_path / "run.ckpt"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "synth", str(rd53_file),
+             "--executor", "process", "--jobs", "2",
+             "--checkpoint", str(ck),
+             "--inject-faults", "delay=120@1#all,delay=120@2#all",
+             "-o", str(tmp_path / "never.blif")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        return proc, ck
+
+    @pytest.mark.parametrize("signame", ["SIGINT", "SIGTERM"])
+    def test_signal_exits_130_flushes_checkpoint_and_resumes(
+        self, rd53_file, tmp_path, signame
+    ):
+        import signal as signal_mod
+        import time
+
+        serial = tmp_path / "serial.blif"
+        assert main(["synth", str(rd53_file), "-o", str(serial)]) == 0
+
+        proc, ck = self._spawn_stalled_run(rd53_file, tmp_path)
+        try:
+            deadline = time.monotonic() + 120
+            while not ck.exists():
+                assert proc.poll() is None, proc.communicate()[1]
+                assert time.monotonic() < deadline, "checkpoint never appeared"
+                time.sleep(0.05)
+            proc.send_signal(getattr(signal_mod, signame))
+            # Prompt drain: nowhere near the 120s the faulted groups sleep.
+            _, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, err
+        assert "interrupt" in err
+        assert "Traceback" not in err
+        assert ck.exists(), "drain must flush the checkpoint"
+
+        # Restart-resume reproduces the uninterrupted bytes exactly.
+        resumed = tmp_path / "resumed.blif"
+        rc = main(["synth", str(rd53_file), "--executor", "process",
+                   "--jobs", "2", "--resume", str(ck),
+                   "-o", str(resumed)])
+        assert rc == 0
+        assert resumed.read_text() == serial.read_text()
 
 
 PAIR_BLIF = """\

@@ -30,6 +30,7 @@ DOC_FILES = (
     "docs/OBSERVABILITY.md",
     "docs/RELIABILITY.md",
     "docs/CACHING.md",
+    "docs/SERVING.md",
 )
 
 _FENCE = re.compile(r"^```(\w*)\s*$")
