@@ -89,10 +89,13 @@ def _flip_cubes(
 class GroupCache:
     """Consults and feeds the persistent store for one engine's groups."""
 
-    def __init__(self, store: ResultStore, digest: str) -> None:
-        """Cache against ``store``, namespaced by semantic config ``digest``."""
+    def __init__(
+        self, store: ResultStore, digest: str, target: str = ""
+    ) -> None:
+        """Cache against ``store``, namespaced by ``digest`` and ``target``."""
         self.store = store
         self.digest = digest
+        self.target = target
         self._counts: dict[str, int] = {name: 0 for name in COUNTERS}
 
     @classmethod
@@ -100,20 +103,29 @@ class GroupCache:
         """Open the cache at ``path`` for runs under ``config``."""
         from repro.engine.checkpoint import config_digest
 
-        return cls(open_store(path), config_digest(config))
+        return cls(
+            open_store(path),
+            config_digest(config),
+            getattr(config, "target", "") or "",
+        )
 
     def counters(self) -> dict[str, int]:
         """Snapshot of the hit/miss/store/canonicalize counters."""
         return dict(self._counts)
 
     def _key(self, form: CanonicalForm) -> str:
-        """Database key: semantic config digest + canonical function key.
+        """Database key: config digest + technology target + function key.
 
         The digest prefix keeps results produced under different
         decomposition settings (k, mode, policy caps...) apart -- the same
-        function maps to different networks under different knobs.
+        function maps to different networks under different knobs.  The
+        target name is *also* an explicit key component (although it is
+        already part of the semantic digest): a result mapped for one
+        technology must never serve a request for another, and the
+        explicit component keeps that guarantee independent of what the
+        digest happens to cover.
         """
-        return f"{self.digest}:{form.key}"
+        return f"{self.digest}:{self.target}:{form.key}"
 
     # ------------------------------------------------------------------
     # lookup / record
@@ -153,13 +165,16 @@ class GroupCache:
         form: CanonicalForm,
         f_nodes: list[int],
         result: "GroupResult",
+        policy: str | None = None,
     ) -> None:
         """Store a freshly computed (verified) group result.
 
         The canonical payload is round-tripped through :meth:`_rewrite`
         and required to reproduce ``result`` *structurally* before it is
         written -- a transform that cannot restore what it normalized
-        must not enter the store.
+        must not enter the store.  ``policy`` names the producing
+        decomposition policy (the race winner for raced groups); it is
+        stored as provenance alongside the target name.
         """
         if self.store.disabled:
             return
@@ -172,6 +187,8 @@ class GroupCache:
             check = None
         if check != result:
             return
+        payload["policy"] = policy or getattr(ctx.config, "policy", "")
+        payload["target"] = self.target
         if self.store.put(self._key(form), payload):
             self._counts["cache_stores"] += 1
             observe.add("cache_stores")

@@ -11,8 +11,16 @@ Usage::
 
 ``synth`` reads a PLA or BLIF file, optionally pre-structures it with the
 rugged-style script, maps it to k-input LUTs with multiple-output (IMODEC)
-or single-output decomposition, verifies the result, reports XC3000 CLB
-counts and optionally writes the mapped netlist as BLIF.
+or single-output decomposition, verifies the result, reports the
+technology target's cell counts (XC3000 CLBs by default) and optionally
+writes the mapped netlist as BLIF.
+
+``--target`` picks the technology target (``xc3000-clb``, ``lut-<k>``,
+or ``auto``; see ``docs/TARGETS.md``) and ``--policy`` the decomposition
+heuristic -- including a per-group portfolio race
+(``race:ladder-peel,peel-first,...``) where every candidate policy maps
+each output group and the cheapest result under the target wins
+deterministically.
 
 ``batch`` maps many circuits in one invocation through one shared work
 queue: with ``--executor process`` the decomposition groups of *all*
@@ -74,10 +82,10 @@ from repro.io import parse_network
 from repro.io.blif import write_blif
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow, verify_flow_sim
 from repro.mapping.structural import synthesize_structural
-from repro.mapping.xc3000 import pack_xc3000
 from repro.network.network import Network
 from repro.network.stats import network_stats
 from repro.observe import Budget, Tracer, build_report, format_tree
+from repro.targets import AUTO_TARGET, TARGET_NAMES, make_target, report_section
 
 
 def load_network(path: Path) -> Network:
@@ -184,7 +192,9 @@ def _make_config(args: argparse.Namespace) -> FlowConfig:
         raise ValueError("--checkpoint/--resume do not apply to --structural")
     return FlowConfig(
         k=args.k,
+        target=args.target,
         mode=args.mode,
+        policy=args.policy,
         strict=args.strict,
         jobs=args.jobs,
         executor=args.executor,
@@ -245,6 +255,9 @@ def cmd_synth(args: argparse.Namespace) -> int:
         error = exc
     elapsed = time.perf_counter() - start
 
+    target = make_target(config.target)
+    cost = target.network_cost(result.network) if result is not None else None
+
     if tracer is not None:
         if error is not None:
             tracer.failure(kind=_failure_kind(error), error=str(error))
@@ -254,7 +267,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
             meta = {
                 "circuit": net.name,
                 "input": str(path),
-                "k": args.k,
+                "k": config.k,
                 "mode": args.mode,
                 "structural": bool(args.structural),
                 "rugged": bool(args.rugged),
@@ -267,13 +280,21 @@ def cmd_synth(args: argparse.Namespace) -> int:
                 meta["luts"] = result.num_luts
             if error is not None:
                 meta["error"] = str(error)
+            engine_dict = (
+                result.engine_stats.as_dict() if result is not None else None
+            )
             report = build_report(
                 tracer,
                 meta=meta,
-                engine=(
-                    result.engine_stats.as_dict()
-                    if result is not None
-                    else None
+                engine=engine_dict,
+                target=report_section(
+                    config.target,
+                    config.k,
+                    engine=engine_dict,
+                    race_winners=(
+                        result.race_winners if result is not None else None
+                    ),
+                    cost=cost,
                 ),
             )
             Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
@@ -286,13 +307,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
         print("ERROR: mapped network is NOT equivalent to the input", file=sys.stderr)
         return 1
 
-    packing = pack_xc3000(result.network, k=args.k) if args.k == 5 else None
     print(f"mapped: {result.num_luts} LUT{'s' if result.num_luts != 1 else ''} "
-          f"(k = {args.k}, mode = {args.mode}, executor = {args.executor}, "
+          f"(k = {config.k}, mode = {args.mode}, executor = {args.executor}, "
           f"{elapsed:.1f}s, verified)")
-    if packing is not None:
-        print(f"packed: {packing.num_clbs} XC3000 CLBs "
-              f"({len(packing.pairs)} paired, {len(packing.singles)} single)")
+    if cost is not None and cost.detail:
+        print(f"packed: {cost.units} {cost.unit_name}s ({cost.detail})")
+    if result.race_winners:
+        winners = ", ".join(
+            f"{policy} x{wins}"
+            for policy, wins in sorted(result.race_winners.items())
+        )
+        print(f"race:   winners: {winners}")
     if args.stats and result.records:
         print(f"decomposition vectors: {len(result.records)}, "
               f"max m = {result.max_group_outputs}, max p = {result.max_globals}")
@@ -385,7 +410,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.report:
             meta = {
                 "circuits": ",".join(net.name for net in networks),
-                "k": args.k,
+                "k": config.k,
                 "mode": args.mode,
                 "jobs": args.jobs,
                 "luts": sum(r.num_luts for r in mapped),
@@ -394,10 +419,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
             }
             if error is not None:
                 meta["error"] = str(error)
+            race_winners: dict[str, int] = {}
+            for res in mapped:
+                for policy, wins in res.race_winners.items():
+                    race_winners[policy] = race_winners.get(policy, 0) + wins
+            engine_dict = _merge_engine_stats(results) if results else None
             report = build_report(
                 tracer,
                 meta=meta,
-                engine=_merge_engine_stats(results) if results else None,
+                engine=engine_dict,
+                target=report_section(
+                    config.target,
+                    config.k,
+                    engine=engine_dict,
+                    race_winners=race_winners or None,
+                ),
             )
             Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
             print(f"report: {args.report}")
@@ -435,7 +471,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--mode", choices=["multi", "single"], default="multi",
                      help="multi = IMODEC sharing, single = classical baseline")
-    cmd.add_argument("--k", type=int, default=5, help="LUT input count (default 5)")
+    cmd.add_argument("--k", type=int, default=None,
+                     help="LUT input count (default: from --target, else 5)")
+    cmd.add_argument("--target", default=AUTO_TARGET, metavar="NAME",
+                     help="technology target: "
+                          f"{', '.join(TARGET_NAMES)}, lut-<k> for any "
+                          "k >= 3, or auto (xc3000-clb at k = 5, lut-<k> "
+                          "otherwise; see docs/TARGETS.md)")
+    cmd.add_argument("--policy", default="ladder-peel", metavar="SPEC",
+                     help="decomposition policy (ladder-peel, peel-first, "
+                          "flat-ladder), or a per-group portfolio race "
+                          "'race:p1,p2,...' -- every candidate maps each "
+                          "group and the cheapest result under --target "
+                          "wins deterministically")
     cmd.add_argument("--executor", choices=["serial", "process"], default="serial",
                      help="engine executor: serial replays the recursion order, "
                           "process fans groups out to worker processes")

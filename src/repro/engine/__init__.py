@@ -11,7 +11,11 @@ explicit:
   collected in a :class:`TaskGraph` with queue-depth accounting.
 - :mod:`repro.engine.policies` -- the decomposition heuristics (scorer
   race, bound-size ladder, lone-output peel) behind the typed
-  :class:`DecomposePolicy` interface, swappable via ``FlowConfig``.
+  :class:`DecomposePolicy` interface, swappable via ``FlowConfig`` --
+  including per-group portfolio racing (``policy="race:p1,p2,..."``),
+  where every candidate maps each output group and the cheapest result
+  under the technology target (:mod:`repro.targets`) wins
+  deterministically.
 - :mod:`repro.engine.emitter` -- expands a vector task into its child
   tasks against a mutable emission context (the LUT network under
   construction).
@@ -32,10 +36,14 @@ semantics.
 
 from repro.engine.tasks import EngineStats, Task, TaskGraph, TaskKind
 from repro.engine.policies import (
+    POLICIES,
     DecomposePolicy,
+    FlatLadderPolicy,
     LadderPeelPolicy,
+    PeelFirstPolicy,
     PolicyDecision,
     make_policy,
+    parse_policy_spec,
 )
 from repro.engine.emitter import EmitContext, VectorEmitter
 from repro.engine.batch import synthesize_batch
@@ -66,7 +74,10 @@ __all__ = [
     "Executor",
     "FaultPlan",
     "FaultSpec",
+    "FlatLadderPolicy",
     "LadderPeelPolicy",
+    "POLICIES",
+    "PeelFirstPolicy",
     "PolicyDecision",
     "ProcessExecutor",
     "ResumeState",
@@ -79,5 +90,6 @@ __all__ = [
     "make_executor",
     "make_policy",
     "parse_fault_plan",
+    "parse_policy_spec",
     "synthesize_batch",
 ]

@@ -29,6 +29,7 @@ from repro.boolfunc.sop import Sop
 from repro.boolfunc.truthtable import TruthTable
 from repro.engine.policies import DecomposePolicy
 from repro.engine.tasks import Task, TaskGraph
+from repro.targets import make_target
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (flow imports engine)
     from repro.mapping.flow import FlowConfig, GroupRecord
@@ -54,6 +55,9 @@ class EmitContext:
         """Bind the shared flow state one emission run works against."""
         self.bdd = bdd
         self.config = config
+        self.target = make_target(
+            getattr(config, "target", None) or f"lut-{config.k}"
+        )
         self.lut = lut
         self.signal_of_level = signal_of_level
         self.records: list["GroupRecord"] = records if records is not None else []
@@ -161,7 +165,7 @@ class VectorEmitter:
         children: list[Task] = []
         pending: list[int] = []
         for i, f in enumerate(f_nodes):
-            if len(bdd.support(f)) <= config.k:
+            if ctx.target.feasible(len(bdd.support(f))):
                 children.append(
                     self._lut_task(f, cache, sink, positions[i], label=f"o{i}")
                 )
@@ -291,7 +295,7 @@ class VectorEmitter:
                         ctx.signal_of_level[result.code_levels[j][bit]] = d_sig
             return []
 
-        if len(ctx.bdd.support(d_node)) <= ctx.config.k:
+        if ctx.target.feasible(len(ctx.bdd.support(d_node))):
 
             def run() -> list[Task]:
                 cell[0] = ctx.emit_lut(d_node, cache)

@@ -58,7 +58,7 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.emitter import EmitContext, VectorEmitter
 from repro.engine.faults import NO_FAULTS, ResolvedFaults, perform_fault
-from repro.engine.policies import make_policy
+from repro.engine.policies import make_policy, parse_policy_spec
 from repro.engine.tasks import EngineStats, TaskGraph
 from repro.engine.worker import GroupPayload, GroupResult, run_group
 from repro.errors import FaultInjected, GroupFailedError, RunInterrupted
@@ -135,11 +135,50 @@ class SerialExecutor:
         a sifting pass over the pending roots (see
         :func:`repro.bdd.reorder.sift_groups`).
         """
+        if engine.racing:
+            return self._drain_with_race(engine, groups)
         if engine.group_cache is not None:
             return self._drain_with_cache(engine, groups)
         if not engine.config.auto_reorder:
             return self.drain_groups(engine.emitter, engine.graph, groups)
         return self._drain_with_reorder(engine, groups)
+
+    def _drain_with_race(
+        self, engine: "Engine", groups: list[list[int]]
+    ) -> list[list[str]]:
+        """Group-at-a-time drain racing the policy portfolio per group.
+
+        Every candidate policy maps the group through the in-process
+        worker path (:func:`repro.engine.worker.run_group`), the winner
+        is the cheapest result under the engine's technology target with
+        spec order as the deterministic tie-break, and only the winner
+        merges -- byte-identical to the process executor's race (both
+        pick the same winner from the same deterministic candidates).  A
+        configured result cache is consulted first and fed the winner
+        (with its policy provenance) on a miss.
+        """
+        cache = engine.group_cache
+        results: list[list[str]] = []
+        for f_nodes in groups:
+            engine.graph.note_queue_depth(len(groups) - len(results))
+            form = None
+            if cache is not None:
+                with observe.span("cache-lookup"):
+                    hit, form = cache.lookup(engine.context, f_nodes)
+                if hit is not None:
+                    results.append(merge_group_result(engine, hit))
+                    continue
+            payload = self._cache_payload(engine, f_nodes)
+            winner, result = run_race_serial(engine, payload)
+            signals = merge_group_result(engine, result)
+            if cache is not None and form is not None:
+                with observe.span("cache-record"):
+                    cache.record(
+                        engine.context, form, f_nodes, result,
+                        policy=winner,
+                    )
+            results.append(signals)
+        return results
 
     def _drain_with_cache(
         self, engine: "Engine", groups: list[list[int]]
@@ -270,6 +309,79 @@ class SerialExecutor:
             stack.extend(reversed(children))
 
 
+def candidate_payload(payload: GroupPayload, policy: str) -> GroupPayload:
+    """The group payload re-pinned to one concrete racing policy.
+
+    Candidate workers must never see the ``race:`` spec itself -- each
+    runs exactly one named policy; everything else about the subproblem
+    (functions, frontier signals, knobs) is shared.
+    """
+    return dc_replace(
+        payload, config=dc_replace(payload.config, policy=policy)
+    )
+
+
+def run_race_serial(
+    engine: "Engine", payload: GroupPayload
+) -> tuple[str, GroupResult]:
+    """Race the policy portfolio over one group, in process, in spec order.
+
+    Every candidate runs to completion (best-cost semantics need every
+    cost); a candidate that dies is excluded (``race_failures``) as long
+    as at least one survives -- when all die, the last error propagates.
+    Returns ``(winner_policy, winner_result)`` where the winner minimizes
+    ``(target.group_cost(nodes), spec_index)``.
+    """
+    engine.race_counts["race_groups"] += 1
+    outcomes: list[tuple[tuple, int, str, GroupResult]] = []
+    last_error: Exception | None = None
+    for index, policy in enumerate(engine.race_policies):
+        if cancel_requested():
+            raise RunInterrupted(
+                "serial race cancelled (signal or server drain)"
+            )
+        engine.race_counts["race_candidates"] += 1
+        try:
+            with observe.span("race-candidate"):
+                result = run_group(candidate_payload(payload, policy))
+        except RunInterrupted:
+            raise
+        except Exception as exc:  # noqa: BLE001 - candidate is expendable
+            engine.race_counts["race_failures"] += 1
+            observe.failure(
+                kind="race-candidate", policy=policy,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            last_error = exc
+            continue
+        cost = engine.context.target.group_cost(result.nodes)
+        outcomes.append((cost, index, policy, result))
+    if not outcomes:
+        raise last_error  # type: ignore[misc] - at least one candidate ran
+    _, _, winner, result = min(outcomes, key=lambda o: (o[0], o[1]))
+    engine.note_race_winner(winner)
+    return winner, result
+
+
+@dataclass
+class RaceEntry:
+    """One candidate policy of one raced group on the process pool.
+
+    Attributes:
+        policy: the candidate's concrete policy name.
+        index: position in the race spec (the deterministic tie-break).
+        payload: the candidate-pinned subproblem (resubmitted on retry).
+        future: the pending pool future.
+        attempt: current retry attempt (0 = first submission).
+    """
+
+    policy: str
+    index: int
+    payload: GroupPayload
+    future: object | None = None
+    attempt: int = 0
+
+
 @dataclass
 class Submission:
     """Book-keeping of one in-flight group on the process pool.
@@ -293,6 +405,11 @@ class Submission:
             the group replayed from a checkpoint instead).
         cache_hit: True when ``cached`` came from the result cache
             rather than a resume checkpoint.
+        entries: candidate submissions of a policy-portfolio race (None
+            when the group is not raced; exactly one wins at collect
+            time).
+        winner_policy: the racing policy whose result was merged (cache
+            provenance; None for unraced or replayed groups).
     """
 
     ordinal: int
@@ -306,6 +423,8 @@ class Submission:
     degraded_signals: list[str] | None = None
     cache_form: object | None = None
     cache_hit: bool = False
+    entries: list[RaceEntry] | None = None
+    winner_policy: str | None = None
 
 
 class ProcessExecutor:
@@ -424,10 +543,27 @@ class ProcessExecutor:
                     sub.cached = hit
                     sub.cache_hit = True
             if sub.cached is None:
-                sub.future = self._pool_submit(self._armed(sub, faults))
+                if engine.racing:
+                    self._submit_race(engine, sub)
+                else:
+                    sub.future = self._pool_submit(self._armed(sub, faults))
             subs.append(sub)
         self._note_stale(resume)
         return subs
+
+    def _submit_race(self, engine: "Engine", sub: Submission) -> None:
+        """Fan one group out as competing candidate-policy submissions."""
+        engine.race_counts["race_groups"] += 1
+        sub.entries = []
+        for index, policy in enumerate(engine.race_policies):
+            entry = RaceEntry(
+                policy=policy,
+                index=index,
+                payload=candidate_payload(sub.payload, policy),
+            )
+            entry.future = self._pool_submit(entry.payload)
+            engine.race_counts["race_candidates"] += 1
+            sub.entries.append(entry)
 
     def _note_stale(self, resume: ResumeState | None) -> None:
         """Surface newly-discovered stale resume entries (counter + stderr)."""
@@ -484,6 +620,8 @@ class ProcessExecutor:
                         observe.add("checkpoint_groups_replayed")
                     # (result-cache hits were already counted at lookup)
                     result: GroupResult | None = sub.cached
+                elif sub.entries is not None:
+                    result = self._await_race(engine, sub)
                 else:
                     result = self._await_result(engine, sub, faults)
                 if result is not None:
@@ -500,6 +638,7 @@ class ProcessExecutor:
                             engine.group_cache.record(
                                 engine.context, sub.cache_form,
                                 sub.f_nodes, result,
+                                policy=sub.winner_policy,
                             )
                 else:
                     # Degraded serial fallback already emitted in-parent.
@@ -514,7 +653,7 @@ class ProcessExecutor:
         except RunInterrupted:
             # Outstanding futures must not keep pool workers (and the
             # interpreter's exit machinery) busy after the run is dead.
-            self._cancel_outstanding(subs)
+            self._cancel_outstanding(engine, subs)
             raise
         finally:
             if ckpt is not None:
@@ -522,12 +661,110 @@ class ProcessExecutor:
         return results
 
     @staticmethod
-    def _cancel_outstanding(subs: list[Submission]) -> None:
-        """Cancel every not-yet-collected pool future (cancelled drain)."""
+    def _cancel_outstanding(engine: "Engine", subs: list[Submission]) -> None:
+        """Cancel every not-yet-collected pool future (cancelled drain).
+
+        Race-candidate futures revoked before they started count as
+        cancelled losers -- the run is dead, nobody can win anymore.
+        """
         for sub in subs:
             future = sub.future
             if future is not None:
                 future.cancel()
+            for entry in sub.entries or ():
+                if entry.future is not None and entry.future.cancel():
+                    engine.race_counts["race_losers_cancelled"] += 1
+
+    # ------------------------------------------------------------------
+    # racing
+    # ------------------------------------------------------------------
+
+    def _await_race(
+        self, engine: "Engine", sub: Submission
+    ) -> GroupResult | None:
+        """Decide one raced group from its candidate submissions.
+
+        Candidates are awaited in spec order and every survivor's cost is
+        taken (best-cost semantics need all of them), so the winner --
+        ``min`` by ``(target.group_cost(nodes), spec_index)`` -- is
+        timing-independent and matches the serial race exactly.  A
+        candidate that fails permanently is excluded (``race_failures``);
+        when every candidate dies the group degrades to the in-parent
+        serial path exactly like an unraced group.  Any future still
+        pending once the winner is decided is revoked
+        (``race_losers_cancelled``).
+        """
+        outcomes: list[tuple[tuple, int, str, GroupResult]] = []
+        for entry in sub.entries:
+            result = self._await_candidate(engine, sub, entry)
+            if result is None:
+                continue
+            cost = engine.context.target.group_cost(result.nodes)
+            outcomes.append((cost, entry.index, entry.policy, result))
+        if not outcomes:
+            return self._degrade(engine, sub, NO_FAULTS)
+        for entry in sub.entries:
+            if entry.future is not None and entry.future.cancel():
+                engine.race_counts["race_losers_cancelled"] += 1
+        _, _, winner, result = min(outcomes, key=lambda o: (o[0], o[1]))
+        sub.winner_policy = winner
+        engine.note_race_winner(winner)
+        return result
+
+    def _await_candidate(
+        self, engine: "Engine", sub: Submission, entry: RaceEntry
+    ) -> GroupResult | None:
+        """Wait for one race candidate, retrying failures with backoff.
+
+        Mirrors :meth:`_await_result`, but a candidate that exhausts its
+        retry budget returns None (excluded from the race) instead of
+        degrading -- the race survives as long as one candidate does.
+        Failure records carry the candidate's policy name.
+        """
+        config = engine.config
+        while True:
+            started = time.perf_counter()
+            try:
+                return self._wait_interruptible(
+                    entry.future, config.task_timeout
+                )
+            except RunInterrupted:
+                raise  # drain teardown, not a candidate failure
+            except FutureTimeoutError:
+                kind = "timeout"
+                error = f"group exceeded task_timeout={config.task_timeout:g}s"
+                self._counts["task_timeouts"] += 1
+            except BrokenExecutor as exc:
+                kind = "worker-crash"
+                error = str(exc) or type(exc).__name__
+                self._counts["worker_crashes"] += 1
+                _reset_pool()
+            except Exception as exc:  # noqa: BLE001 - candidate is expendable
+                kind = "error"
+                error = f"{type(exc).__name__}: {exc}"
+            record = {
+                "kind": kind,
+                "group": sub.ordinal,
+                "policy": entry.policy,
+                "attempt": entry.attempt,
+                "error": error,
+                "seconds": round(time.perf_counter() - started, 6),
+            }
+            sub.failures.append(record)
+            observe.failure(**record)
+            entry.attempt += 1
+            if entry.attempt > config.task_retries:
+                engine.race_counts["race_failures"] += 1
+                return None
+            self._counts["tasks_retried"] += 1
+            observe.add("tasks_retried")
+            time.sleep(
+                min(
+                    config.retry_backoff * (2 ** (entry.attempt - 1)),
+                    MAX_BACKOFF_SECONDS,
+                )
+            )
+            entry.future = self._pool_submit(entry.payload)
 
     # ------------------------------------------------------------------
     # failure handling
@@ -824,6 +1061,15 @@ class Engine:
             self.context, make_policy(config), self.graph
         )
         self.executor: Executor = make_executor(config)
+        self.race_policies = parse_policy_spec(config.policy)
+        self.racing = len(self.race_policies) > 1
+        self.race_counts = {
+            "race_groups": 0,
+            "race_candidates": 0,
+            "race_losers_cancelled": 0,
+            "race_failures": 0,
+        }
+        self.race_winners: dict[str, int] = {}
         self.group_cache = None
         if config.cache_db is not None:
             from repro.cache.group import GroupCache
@@ -834,12 +1080,16 @@ class Engine:
         """Map each group of BDD roots to its emitted output signals."""
         return self.executor.run_groups(self, groups)
 
+    def note_race_winner(self, policy: str) -> None:
+        """Count one raced group decided in favour of ``policy``."""
+        self.race_winners[policy] = self.race_winners.get(policy, 0) + 1
+
     def stats(self) -> EngineStats:
         """Report-ready counters for the run's ``engine`` section.
 
         Folds the executor's reliability counters (retries, timeouts,
-        degradations, checkpoint activity) and the result-cache counters
-        into the task-graph counts.
+        degradations, checkpoint activity), the result-cache counters and
+        the portfolio-race counters into the task-graph counts.
         """
         stats = self.graph.stats(self.executor.name, self.executor.workers)
         reliability = getattr(self.executor, "reliability", None)
@@ -847,4 +1097,4 @@ class Engine:
             stats = dc_replace(stats, **reliability())
         if self.group_cache is not None:
             stats = dc_replace(stats, **self.group_cache.counters())
-        return stats
+        return dc_replace(stats, **self.race_counts)

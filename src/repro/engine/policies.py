@@ -34,9 +34,35 @@ from repro.bdd.manager import BDD
 from repro.errors import DecompositionError
 from repro.imodec.decomposer import MultiOutputDecomposition, decompose_multi
 from repro.partitioning.variables import choose_bound_set
+from repro.targets import make_target
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports engine)
     from repro.mapping.flow import FlowConfig
+
+#: Prefix of a policy-portfolio race spec (``race:a,b,c``).
+RACE_PREFIX = "race:"
+
+
+def parse_policy_spec(spec: str) -> list[str]:
+    """Split a ``FlowConfig.policy`` value into its candidate names.
+
+    A plain name is a one-element portfolio; ``race:a,b,c`` races the
+    named policies per output group (spec order is the deterministic
+    tie-break order).  Empty entries and duplicates are rejected --
+    racing a policy against itself can only waste a worker.  Candidate
+    *existence* is checked by the caller against :data:`POLICIES`.
+    """
+    if not spec.startswith(RACE_PREFIX):
+        return [spec]
+    names = [name.strip() for name in spec[len(RACE_PREFIX):].split(",")]
+    if not names or any(not name for name in names):
+        raise ValueError(
+            f"malformed race spec {spec!r} "
+            "(want race:<policy>[,<policy>...])"
+        )
+    if len(set(names)) != len(names):
+        raise ValueError(f"race spec {spec!r} names a policy twice")
+    return names
 
 
 @dataclass
@@ -83,8 +109,17 @@ class LadderPeelPolicy:
     """The paper-faithful default: scorer race + bound ladder + lone peel."""
 
     def __init__(self, config: "FlowConfig") -> None:
-        """Read the ladder/peel knobs from ``config`` (k, caps, rounds)."""
+        """Read the ladder/peel knobs from ``config`` (k, caps, rounds).
+
+        The technology target supplies the candidate-ranking key (see
+        :meth:`repro.targets.base.TechTarget.candidate_key`); for the
+        reference ``xc3000-clb`` target it is exactly the historical
+        tuple, keeping the default flow byte-identical.
+        """
         self.config = config
+        self.target = make_target(
+            getattr(config, "target", None) or f"lut-{config.k}"
+        )
 
     # -- one decomposition attempt -------------------------------------
 
@@ -123,16 +158,9 @@ class LadderPeelPolicy:
                 dc_fill=config.dc_fill,
                 strict=config.strict,
             )
-            prog = [
-                j
-                for j, f in enumerate(vec)
-                if res.codewidths[j] < len(bdd.support(f) & set(bs_))
-            ]
-            g_inputs = sum(
-                res.codewidths[j] + len(bdd.support(f) - set(bs_))
-                for j, f in enumerate(vec)
-            )
-            key = (0 if prog else 1, res.num_functions, g_inputs)
+            prog = res.progressing_outputs(bdd, vec, bs_)
+            g_inputs = res.composition_inputs(bdd, vec, bs_)
+            key = self.target.candidate_key(prog, res.num_functions, g_inputs)
             if best_key is None or key < best_key:
                 best, best_key = (res, bs_, prog), key
         if best is None:
@@ -197,18 +225,119 @@ class LadderPeelPolicy:
         )
 
 
-def make_policy(config: "FlowConfig") -> DecomposePolicy:
-    """Resolve ``FlowConfig.policy`` to a policy instance."""
-    name = getattr(config, "policy", "ladder-peel")
-    factory = POLICIES.get(name)
+class PeelFirstPolicy(LadderPeelPolicy):
+    """Variant: peel lone outputs *before* climbing the bound ladder.
+
+    The default policy widens the bound set until some output progresses
+    and only then peels; this one peels unshared outputs at the base
+    bound first -- a narrower joint vector often progresses without any
+    widening, trading ladder attempts (each a full subset-DP) for peel
+    re-decompositions.  Same knobs, same truncation counters.
+    """
+
+    def decompose(self, bdd: BDD, vector: list[int]) -> PolicyDecision:
+        """Plan one step: peel loners first, then ladder the remainder."""
+        config = self.config
+        base_bound = min(config.bound_size or config.k, config.k)
+        max_bound = max(base_bound, config.bound_size or 0, config.k + 3)
+        ceiling = min(max_bound, config.ladder_cap)
+        bound = base_bound
+        result, bs, progressing = self._attempt(bdd, vector, bound)
+
+        kept = list(range(len(vector)))
+        peeled: list[int] = []
+        current = list(vector)
+        for _ in range(config.peel_rounds):
+            if len(current) <= 1:
+                break
+            lone = result.lone_outputs()
+            if not lone:
+                break
+            peeled.extend(kept[j] for j in lone)
+            keep = [j for j in range(len(current)) if j not in set(lone)]
+            kept = [kept[j] for j in keep]
+            current = [current[j] for j in keep]
+            if not current:
+                return PolicyDecision(
+                    result=None, kept=[], peeled=peeled, bound=bound
+                )
+            result, bs, progressing = self._attempt(bdd, current, bound)
+        else:
+            if len(current) > 1 and result.lone_outputs():
+                observe.add("peel_limit_truncations")
+
+        while not progressing and bound < ceiling:
+            bound += 2
+            result, bs, progressing = self._attempt(bdd, current, bound)
+        if not progressing and ceiling < max_bound:
+            observe.add("ladder_cap_truncations")
+
+        return PolicyDecision(
+            result=result,
+            bs=bs,
+            progressing=progressing,
+            kept=kept,
+            peeled=peeled,
+            bound=bound,
+        )
+
+
+class FlatLadderPolicy(LadderPeelPolicy):
+    """Variant: bound ladder only, no lone-output peel at all.
+
+    Keeps every output in the joint vector whatever the sharing looks
+    like -- cheapest per step (no re-decompositions), and occasionally
+    better when a "lone" output would re-join the pool one recursion
+    level deeper.  The racing harness pits it against the peeling
+    policies per group.
+    """
+
+    def decompose(self, bdd: BDD, vector: list[int]) -> PolicyDecision:
+        """Plan one step: ladder until progress, never peel."""
+        config = self.config
+        base_bound = min(config.bound_size or config.k, config.k)
+        max_bound = max(base_bound, config.bound_size or 0, config.k + 3)
+        ceiling = min(max_bound, config.ladder_cap)
+        bound = base_bound
+        result, bs, progressing = self._attempt(bdd, vector, bound)
+        while not progressing and bound < ceiling:
+            bound += 2
+            result, bs, progressing = self._attempt(bdd, vector, bound)
+        if not progressing and ceiling < max_bound:
+            observe.add("ladder_cap_truncations")
+        return PolicyDecision(
+            result=result,
+            bs=bs,
+            progressing=progressing,
+            kept=list(range(len(vector))),
+            peeled=[],
+            bound=bound,
+        )
+
+
+def make_policy(config: "FlowConfig", name: str | None = None) -> DecomposePolicy:
+    """Resolve a policy name (default ``FlowConfig.policy``) to an instance.
+
+    A ``race:`` spec resolves to its *first* candidate -- that is the
+    policy the parent engine's own emitter uses for paths that cannot
+    race (the degraded in-parent fallback); the executors run the full
+    portfolio through :func:`parse_policy_spec` themselves.
+    """
+    spec = name if name is not None else getattr(config, "policy", "ladder-peel")
+    candidates = parse_policy_spec(spec)
+    factory = POLICIES.get(candidates[0])
     if factory is None:
         raise ValueError(
-            f"unknown decomposition policy {name!r} (have: {sorted(POLICIES)})"
+            f"unknown decomposition policy {candidates[0]!r} "
+            f"(have: {sorted(POLICIES)})"
         )
     return factory(config)
 
 
-#: Registry of named policies (``FlowConfig.policy`` values).
+#: Registry of named policies (``FlowConfig.policy`` values).  Insertion
+#: order is the deterministic tie-break order of policy racing.
 POLICIES = {
     "ladder-peel": LadderPeelPolicy,
+    "peel-first": PeelFirstPolicy,
+    "flat-ladder": FlatLadderPolicy,
 }

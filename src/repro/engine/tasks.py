@@ -73,6 +73,17 @@ class EngineStats:
             support-normalized key (tie space or node budget exceeded).
         cache_rejects: cached payloads discarded because verification
             against the requested functions failed (collision/corruption).
+        race_groups: output groups decided by a policy-portfolio race
+            (``FlowConfig.policy = "race:..."``).
+        race_candidates: candidate policy runs dispatched across all
+            raced groups (``race_groups`` x portfolio size, minus any
+            replayed from cache/checkpoint).
+        race_losers_cancelled: losing candidate submissions cancelled
+            before they ran (pool futures revoked once the group's
+            winner was decided or the run was interrupted).
+        race_failures: candidate runs that failed permanently and were
+            excluded from their group's race (the race proceeds as long
+            as one candidate survives).
     """
 
     executor: str = "serial"
@@ -98,6 +109,10 @@ class EngineStats:
     cache_canonicalizations: int = 0
     cache_fallbacks: int = 0
     cache_rejects: int = 0
+    race_groups: int = 0
+    race_candidates: int = 0
+    race_losers_cancelled: int = 0
+    race_failures: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON form for ``build_report(engine=...)``."""

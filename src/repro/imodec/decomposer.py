@@ -116,6 +116,39 @@ class MultiOutputDecomposition:
             if all(len(self.d_pool[i].users) <= 1 for i in self.assignments[k])
         ]
 
+    def progressing_outputs(
+        self, bdd: BDD, f_nodes: Sequence[int], bs: Sequence[int]
+    ) -> list[int]:
+        """Outputs whose codewidth beat their bound-set support.
+
+        A progressing output genuinely shrank under the decomposition
+        (c_k < |supp(f_k) ∩ BS|); the rest fall back to a Shannon split.
+        This is the feasibility half of every technology target's
+        candidate ranking (:meth:`repro.targets.base.TechTarget.candidate_key`).
+        """
+        bs_set = set(bs)
+        return [
+            k
+            for k, f in enumerate(f_nodes)
+            if self.codewidths[k] < len(bdd.support(f) & bs_set)
+        ]
+
+    def composition_inputs(
+        self, bdd: BDD, f_nodes: Sequence[int], bs: Sequence[int]
+    ) -> int:
+        """Total inputs of the composition functions g_k.
+
+        Each g_k reads its c_k code variables plus the free-set part of
+        f_k's support; the sum is the cost half of a target's candidate
+        ranking -- fewer composition inputs means cheaper g emission
+        whatever the cell library.
+        """
+        bs_set = set(bs)
+        return sum(
+            self.codewidths[k] + len(bdd.support(f) - bs_set)
+            for k, f in enumerate(f_nodes)
+        )
+
     def verify(self, bdd: BDD, f_nodes: Sequence[int]) -> bool:
         """Exact check of every output by BDD composition."""
         for k, f in enumerate(f_nodes):

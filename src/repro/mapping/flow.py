@@ -35,7 +35,7 @@ from repro.bdd.backend import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.bdd.manager import FALSE, TRUE
 from repro.engine import EXECUTORS, Engine, EngineStats
 from repro.engine.faults import FaultPlan
-from repro.engine.policies import POLICIES
+from repro.engine.policies import POLICIES, parse_policy_spec
 from repro.imodec.lmax import TieBreak
 from repro.mapping.lut import check_k_feasible
 from repro.network.collapse import collapse
@@ -43,13 +43,15 @@ from repro.network.network import Network
 from repro.observe.stats import BddStats
 from repro.partitioning.outputs import partition_outputs
 from repro.partitioning.variables import Strategy
+from repro.targets import AUTO_TARGET, resolve_target
 
 
 @dataclass(frozen=True)
 class FlowConfig:
     """Knobs of the synthesis flow."""
 
-    k: int = 5
+    k: int | None = None  # LUT input width (None: from target; default 5)
+    target: str = AUTO_TARGET  # technology target (repro.targets registry)
     mode: Literal["multi", "single"] = "multi"
     bound_size: int | None = None  # default: k (capped by support size)
     tie_break: TieBreak = "balanced"
@@ -83,16 +85,38 @@ class FlowConfig:
     cache_db: str | None = None  # sqlite store of canonical group results
 
     def __post_init__(self) -> None:
-        if self.k < 3:
+        if self.k is not None and self.k < 3:
             raise ValueError("k < 3 cannot host the Shannon fallback mux")
+        # Normalize the resolver pseudo-target to a concrete name and pin
+        # k to the target's cell width, so the semantic config digest
+        # (checkpoints, result cache) never sees "auto"/None; an explicit
+        # k must agree with a concrete target.
+        name, k = resolve_target(self.target, self.k)
+        object.__setattr__(self, "target", name)
+        object.__setattr__(self, "k", k)
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r} (have: {sorted(EXECUTORS)})"
             )
-        if self.policy not in POLICIES:
-            raise ValueError(
-                f"unknown policy {self.policy!r} (have: {sorted(POLICIES)})"
-            )
+        candidates = parse_policy_spec(self.policy)
+        for candidate in candidates:
+            if candidate not in POLICIES:
+                raise ValueError(
+                    f"unknown policy {candidate!r} (have: {sorted(POLICIES)})"
+                )
+        if len(candidates) > 1:
+            if self.auto_reorder:
+                raise ValueError(
+                    "a race: policy needs auto_reorder off (candidates run "
+                    "through the worker path, which has no group-boundary "
+                    "reorder hook)"
+                )
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "a race: policy cannot be combined with fault injection "
+                    "(fault plans are keyed by group ordinal; racing "
+                    "multiplies the submissions per group)"
+                )
         if self.ladder_cap < self.k:
             raise ValueError("ladder_cap below k leaves no ladder at all")
         if self.peel_rounds < 0:
@@ -145,6 +169,7 @@ class FlowResult:
     records: list[GroupRecord] = field(default_factory=list)
     bdd_stats: BddStats = field(default_factory=BddStats)
     engine_stats: EngineStats = field(default_factory=EngineStats)
+    race_winners: dict[str, int] = field(default_factory=dict)
 
     @property
     def num_luts(self) -> int:
@@ -193,6 +218,7 @@ class PreparedRun:
             records=self.engine.context.records,
             bdd_stats=BddStats.from_manager(self.engine.context.bdd),
             engine_stats=self.engine.stats(),
+            race_winners=dict(self.engine.race_winners),
         )
 
 

@@ -12,11 +12,18 @@ from repro.network.network import Network
 
 
 def check_k_feasible(network: Network, k: int) -> None:
-    """Raise ValueError unless every node has at most ``k`` fanins."""
+    """Raise ValueError unless every node has at most ``k`` fanins.
+
+    The error names the offending node and lists its fanin signals, so a
+    violation deep inside a mapped network is diagnosable without dumping
+    the whole netlist.
+    """
     for node in network.nodes.values():
         if len(node.fanins) > k:
+            fanins = ", ".join(node.fanins)
             raise ValueError(
-                f"node {node.name!r} has {len(node.fanins)} fanins (k = {k})"
+                f"node {node.name!r} has {len(node.fanins)} fanins "
+                f"(k = {k}): {fanins}"
             )
 
 

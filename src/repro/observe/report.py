@@ -2,19 +2,20 @@
 
 A run report is the JSON serialization of a :class:`repro.observe.Tracer`
 span tree plus run metadata.  The format is versioned
-(``repro-run-report/3``) and validated by :func:`validate_report` -- a
+(``repro-run-report/4``) and validated by :func:`validate_report` -- a
 dependency-free structural checker the CI smoke runs against every emitted
 report (``python -m repro.observe out.json``).  Version 1 (no ``engine``
-section) and version 2 (no ``failures`` array) reports are still accepted
-by the validator.
+section), version 2 (no ``failures`` array) and version 3 (no ``target``
+section) reports are still accepted by the validator.
 
 Schema (all times in seconds, all counters numeric)::
 
     {
-      "schema": "repro-run-report/3",
+      "schema": "repro-run-report/4",
       "total_seconds": <float>,          # sum of top-level span times
       "meta": {<str>: <scalar>, ...},    # free-form run metadata
       "engine": {<str>: <scalar>, ...},  # optional: task-graph engine stats
+      "target": {"name": <str>, ...},    # optional: technology-target stats
       "failures": [<failure>, ...],      # optional: task-failure events
       "spans": [<span>, ...]             # top-level spans in open order
     }
@@ -36,6 +37,11 @@ version 3 -- the reliability counters of the fault-tolerant executor
 holds one structured record per failed task attempt, as collected by
 :meth:`repro.observe.Tracer.failure`; each record carries at least a
 ``kind`` string (``timeout`` / ``worker-crash`` / ``fault`` / ...).
+The ``target`` section (new in version 4, see ``docs/TARGETS.md``)
+describes the technology target the run mapped for: a required
+non-empty ``name``, scalar entries (``k``, cost totals, per-target
+cache counters), and an optional ``race_winners`` object counting how
+many raced groups each policy of a ``race:`` portfolio won.
 
 :func:`format_tree` renders the same tree for humans (the CLI's
 ``--trace``).
@@ -48,8 +54,9 @@ from typing import Any
 
 from repro.observe.tracer import Span, Tracer
 
-SCHEMA_ID = "repro-run-report/3"
+SCHEMA_ID = "repro-run-report/4"
 #: Previous schema versions, still accepted by :func:`validate_report`.
+SCHEMA_ID_V3 = "repro-run-report/3"
 SCHEMA_ID_V2 = "repro-run-report/2"
 SCHEMA_ID_V1 = "repro-run-report/1"
 
@@ -72,12 +79,15 @@ def build_report(
     tracer: Tracer,
     meta: dict[str, Any] | None = None,
     engine: dict[str, Any] | None = None,
+    target: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Serialize a tracer's span tree as a schema-conforming report.
 
     ``engine`` is the optional flat scalar object describing a task-graph
     engine run (``repro.engine``); pass e.g.
-    ``FlowResult.engine_stats.as_dict()``.  Task-failure events recorded
+    ``FlowResult.engine_stats.as_dict()``.  ``target`` is the optional
+    technology-target section (pass
+    :func:`repro.targets.report_section`).  Task-failure events recorded
     on the tracer surface as the top-level ``failures`` array.
     """
     spans = [_span_payload(c) for c in tracer.root.children.values()]
@@ -89,6 +99,8 @@ def build_report(
     }
     if engine is not None:
         payload["engine"] = dict(engine)
+    if target is not None:
+        payload["target"] = dict(target)
     if tracer.failures:
         payload["failures"] = [dict(f) for f in tracer.failures]
     return payload
@@ -148,11 +160,11 @@ def validate_report(payload: Any) -> dict[str, Any]:
     if not isinstance(payload, dict):
         _fail("$", "report must be an object")
     schema = payload.get("schema")
-    if schema not in (SCHEMA_ID, SCHEMA_ID_V2, SCHEMA_ID_V1):
+    known = (SCHEMA_ID, SCHEMA_ID_V3, SCHEMA_ID_V2, SCHEMA_ID_V1)
+    if schema not in known:
         _fail(
             "$.schema",
-            f"expected {SCHEMA_ID!r}, {SCHEMA_ID_V2!r} or {SCHEMA_ID_V1!r}, "
-            f"got {schema!r}",
+            f"expected one of {list(known)}, got {schema!r}",
         )
     required = {"schema", "total_seconds", "meta", "spans"}
     missing = required - payload.keys()
@@ -169,11 +181,43 @@ def validate_report(payload: Any) -> dict[str, Any]:
         for key, value in payload["engine"].items():
             if not isinstance(key, str) or not isinstance(value, _SCALAR):
                 _fail("$.engine", f"entry {key!r} must map a string to a scalar")
-    if "failures" in payload:
+    if "target" in payload:
         if schema != SCHEMA_ID:
             _fail(
+                "$.target",
+                "target section requires schema repro-run-report/4",
+            )
+        section = payload["target"]
+        if not isinstance(section, dict):
+            _fail("$.target", "must be an object")
+        if not isinstance(section.get("name"), str) or not section["name"]:
+            _fail("$.target", "needs a non-empty 'name' string")
+        for key, value in section.items():
+            if not isinstance(key, str):
+                _fail("$.target", "entry names must be strings")
+            if key == "race_winners":
+                if not isinstance(value, dict):
+                    _fail("$.target", "race_winners must be an object")
+                for policy, wins in value.items():
+                    if (
+                        not isinstance(policy, str)
+                        or not isinstance(wins, int)
+                        or isinstance(wins, bool)
+                        or wins < 0
+                    ):
+                        _fail(
+                            "$.target",
+                            f"race_winners entry {policy!r} must map a "
+                            "string to a non-negative integer",
+                        )
+                continue
+            if not isinstance(value, _SCALAR):
+                _fail("$.target", f"entry {key!r} must map a string to a scalar")
+    if "failures" in payload:
+        if schema in (SCHEMA_ID_V1, SCHEMA_ID_V2):
+            _fail(
                 "$.failures",
-                "failures array requires schema repro-run-report/3",
+                "failures array requires schema repro-run-report/3 or newer",
             )
         if not isinstance(payload["failures"], list):
             _fail("$.failures", "must be an array")

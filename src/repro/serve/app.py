@@ -4,9 +4,12 @@ Endpoints (all JSON; see ``docs/SERVING.md`` for the wire schemas):
 
 - ``POST /jobs`` -- submit a circuit; 202 with the job id, 400 on a
   malformed body, 503 when the admission queue is full or the server is
-  draining.
+  draining.  The optional ``priority`` field picks the admission lane
+  (``interactive``, drained first, or ``bulk``); ``target`` and
+  ``policy`` pick the technology target and decomposition policy (see
+  ``docs/TARGETS.md``).
 - ``GET /jobs/<id>`` -- poll one job; the body is the job envelope
-  (``repro-serve-job/1`` wrapping a ``repro-run-report/3`` report) and
+  (``repro-serve-job/1`` wrapping a ``repro-run-report/4`` report) and
   the HTTP status mirrors the job status (429 budget-exceeded, 503
   interrupted, 500 failed, 404 unknown).
 - ``GET /jobs`` -- list every known job id and status.

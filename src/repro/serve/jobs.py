@@ -2,9 +2,12 @@
 
 A *job* is one synthesis request moving through the statuses of
 :data:`repro.serve.wire.JOB_STATUSES`.  Submissions enter a **bounded
-admission queue** (:class:`JobQueue`) -- a full queue rejects the request
-with :class:`QueueFull` (HTTP 503) so overload fails fast instead of
-piling unbounded work onto the process.  A fixed set of **runner
+two-lane admission queue** (:class:`JobQueue`): the request's
+``priority`` field picks the ``interactive`` or ``bulk`` lane, runners
+always drain interactive jobs first, and both lanes share one backlog
+bound -- a full queue rejects the request with :class:`QueueFull`
+(HTTP 503) so overload fails fast instead of piling unbounded work onto
+the process.  A fixed set of **runner
 threads** drains the queue; every runner drives the ordinary library
 flow (``parse -> rugged -> synthesize -> verify -> write_blif``) with
 ``executor="process"``, so concurrent requests multiplex onto the one
@@ -28,10 +31,10 @@ from __future__ import annotations
 
 import json
 import os
-import queue
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -43,7 +46,8 @@ from repro.io import parse_network
 from repro.io.blif import write_blif
 from repro.mapping.flow import FlowConfig, synthesize, verify_flow
 from repro.observe import Budget, Tracer, build_report
-from repro.serve.wire import JobRequest, job_envelope
+from repro.serve.wire import PRIORITIES, JobRequest, job_envelope
+from repro.targets import report_section
 
 #: Seconds a runner blocks on the queue before re-checking its stop flag.
 RUNNER_POLL_SECONDS = 0.2
@@ -215,26 +219,49 @@ class JobRegistry:
 
 
 class JobQueue:
-    """Bounded admission queue feeding the runner threads."""
+    """Bounded two-lane admission queue feeding the runner threads.
+
+    The request's ``priority`` picks the lane (``interactive`` or
+    ``bulk``); :meth:`next_job` always drains the interactive lane first,
+    so short interactive synthesis requests are not stuck behind a wall
+    of bulk work.  Both lanes share the one ``backlog`` bound -- the
+    overload contract (reject with :class:`QueueFull`, HTTP 503) is
+    unchanged from the single-lane queue.
+    """
 
     def __init__(self, backlog: int) -> None:
-        """Admit at most ``backlog`` queued jobs at a time."""
-        self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=max(1, backlog))
+        """Admit at most ``backlog`` queued jobs at a time (both lanes)."""
+        self._backlog = max(1, backlog)
+        self._lanes: dict[str, deque[Job]] = {
+            lane: deque() for lane in PRIORITIES
+        }
+        self._not_empty = threading.Condition(threading.Lock())
+
+    def _depth(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
 
     def submit(self, job: Job) -> None:
-        """Enqueue ``job``; raises :class:`QueueFull` when over backlog."""
-        try:
-            self._queue.put_nowait(job)
-        except queue.Full:
-            raise QueueFull(
-                "admission queue full (server overloaded; retry later)"
-            ) from None
+        """Enqueue ``job`` on its lane; :class:`QueueFull` over backlog."""
+        lane = getattr(job.request, "priority", None)
+        if lane not in self._lanes:
+            lane = PRIORITIES[0]
+        with self._not_empty:
+            if self._depth() >= self._backlog:
+                raise QueueFull(
+                    "admission queue full (server overloaded; retry later)"
+                )
+            self._lanes[lane].append(job)
+            self._not_empty.notify()
 
     def next_job(self) -> Job | None:
-        """The next queued job, or None after a short poll interval."""
-        try:
-            return self._queue.get(timeout=RUNNER_POLL_SECONDS)
-        except queue.Empty:
+        """The next queued job (interactive lane first), or None after a
+        short poll interval."""
+        with self._not_empty:
+            if self._depth() == 0:
+                self._not_empty.wait(RUNNER_POLL_SECONDS)
+            for lane in PRIORITIES:
+                if self._lanes[lane]:
+                    return self._lanes[lane].popleft()
             return None
 
 
@@ -273,7 +300,9 @@ def flow_config(
         resume_from = checkpoint_path
     return FlowConfig(
         k=request.k,
+        target=request.target,
         mode=request.mode,
+        policy=request.policy,
         strict=request.strict,
         jobs=runner.jobs,
         executor="process",
@@ -294,7 +323,7 @@ def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
 
     Mirrors ``repro synth``: same flow calls, same span names, same
     budget semantics -- so the BLIF is byte-identical to the CLI and the
-    report is the same ``repro-run-report/3`` document.  Every exit path
+    report is the same ``repro-run-report/4`` document.  Every exit path
     (success, failure, blown budget, interrupt) persists the job, and a
     failed or blown run still carries a partial report with the
     ``failures`` array populated.
@@ -311,6 +340,7 @@ def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
     started = time.perf_counter()
     result = None
     ok = False
+    config: FlowConfig | None = None
     error: ReproError | ValueError | None = None
     try:
         with observe.tracing(tracer):
@@ -348,7 +378,7 @@ def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
 
     meta = {
         "circuit": request.name,
-        "k": request.k,
+        "k": config.k if config is not None else request.k,
         "mode": request.mode,
         "rugged": request.rugged,
         "verified": ok and error is None,
@@ -358,10 +388,25 @@ def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
         meta["luts"] = result.num_luts
     if error is not None:
         meta["error"] = str(error)
+    engine_dict = (
+        result.engine_stats.as_dict() if result is not None else None
+    )
     report = build_report(
         tracer,
         meta=meta,
-        engine=result.engine_stats.as_dict() if result is not None else None,
+        engine=engine_dict,
+        target=(
+            report_section(
+                config.target,
+                config.k,
+                engine=engine_dict,
+                race_winners=(
+                    result.race_winners if result is not None else None
+                ),
+            )
+            if config is not None
+            else None
+        ),
     )
     with job._lock:
         job.report = report

@@ -3,12 +3,15 @@
 One HTTP exchange speaks two schemas:
 
 - the **submission** (``POST /jobs`` body) is a JSON object naming the
-  circuit text and the flow knobs -- :func:`parse_submission` validates it
+  circuit text and the flow knobs -- including the technology ``target``
+  (``docs/TARGETS.md``), the decomposition ``policy`` (single or
+  ``race:...`` portfolio) and the admission ``priority`` lane
+  (``interactive`` | ``bulk``) -- :func:`parse_submission` validates it
   into a :class:`JobRequest`, rejecting anything malformed with a
   :class:`WireError` (HTTP 400);
 - the **job envelope** (``GET /jobs/<id>`` body, schema
   ``repro-serve-job/1``) wraps the job's status, its mapped BLIF, and a
-  ``repro-run-report/3`` run report -- the same machine-readable format
+  ``repro-run-report/4`` run report -- the same machine-readable format
   the CLI writes with ``--report``, reused verbatim as the wire format
   (see ``docs/SERVING.md`` and ``docs/OBSERVABILITY.md``).
 
@@ -58,7 +61,13 @@ class JobRequest:
         circuit: PLA or BLIF source text.
         name: circuit name used when the source carries none (PLA).
         fmt: explicit format (``"pla"``/``"blif"``) or None to sniff.
-        k: LUT input count.
+        k: LUT input count (None: derived from ``target``, default 5).
+        target: technology target name (``repro.targets`` registry;
+            ``auto`` resolves against ``k``).
+        policy: decomposition policy, single name or ``race:...``
+            portfolio spec (:mod:`repro.engine.policies`).
+        priority: admission lane, ``"interactive"`` (drained first) or
+            ``"bulk"``; both lanes share the one backlog bound.
         mode: ``"multi"`` (IMODEC sharing) or ``"single"``.
         rugged: pre-structure with the rugged-style script first.
         strict: strict one-code-per-class decomposition baseline.
@@ -69,7 +78,10 @@ class JobRequest:
     circuit: str
     name: str = "network"
     fmt: str | None = None
-    k: int = 5
+    k: int | None = None
+    target: str = "auto"
+    policy: str = "ladder-peel"
+    priority: str = "interactive"
     mode: str = "multi"
     rugged: bool = False
     strict: bool = False
@@ -85,13 +97,19 @@ _FIELD_TYPES = {
     "circuit": str,
     "name": str,
     "fmt": (str, type(None)),
-    "k": int,
+    "k": (int, type(None)),
+    "target": str,
+    "policy": str,
+    "priority": str,
     "mode": str,
     "rugged": bool,
     "strict": bool,
     "budget_seconds": (int, float, type(None)),
     "budget_nodes": (int, type(None)),
 }
+
+#: Admission lanes, in drain order (interactive jobs preempt bulk ones).
+PRIORITIES = ("interactive", "bulk")
 
 
 def parse_submission(payload: object) -> JobRequest:
@@ -121,8 +139,24 @@ def parse_submission(payload: object) -> JobRequest:
         raise WireError(f"unknown circuit format {request.fmt!r}")
     if request.mode not in ("multi", "single"):
         raise WireError(f"unknown mode {request.mode!r}")
-    if request.k < 2:
+    if request.priority not in PRIORITIES:
+        raise WireError(
+            f"unknown priority {request.priority!r} (have: {list(PRIORITIES)})"
+        )
+    if request.k is not None and request.k < 2:
         raise WireError("k must be at least 2")
+    from repro.engine.policies import POLICIES, parse_policy_spec
+    from repro.targets import resolve_target
+
+    try:
+        resolve_target(request.target, request.k)
+        for candidate in parse_policy_spec(request.policy):
+            if candidate not in POLICIES:
+                raise ValueError(
+                    f"unknown policy {candidate!r} (have: {sorted(POLICIES)})"
+                )
+    except ValueError as exc:
+        raise WireError(str(exc)) from None
     return request
 
 
@@ -135,7 +169,7 @@ def job_envelope(
 ) -> tuple[dict, int]:
     """Build one ``GET /jobs/<id>`` response: (JSON body, HTTP status).
 
-    ``report`` is a ``repro-run-report/3`` payload (partial while the job
+    ``report`` is a ``repro-run-report/4`` payload (partial while the job
     runs, final afterwards); ``blif`` is the mapped netlist, present only
     for ``done`` jobs and byte-identical to the one-shot CLI's output.
     """

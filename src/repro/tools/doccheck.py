@@ -37,6 +37,7 @@ DEFAULT_TARGETS = (
     "src/repro/engine",
     "src/repro/cache",
     "src/repro/serve",
+    "src/repro/targets",
     "src/repro/bdd/transfer.py",
     "src/repro/bdd/arena.py",
     "src/repro/bdd/backend.py",

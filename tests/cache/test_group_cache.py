@@ -154,6 +154,77 @@ class TestPoisonedEntries:
         assert write_blif(healed.network) == plain
 
 
+class TestTargetIsolation:
+    def test_stores_never_cross_technology_targets(self, tmp_path):
+        # Same circuit, same k = 5 canonical forms: a store warmed for
+        # lut-5 must never serve the reference xc3000-clb target (the
+        # cached sub-network was priced and raced for another cell).
+        db = str(tmp_path / "cache.db")
+        net = ones_count_network(5, 3)
+
+        cold = synthesize(net, FlowConfig(target="lut-5", cache_db=db))
+        assert cold.engine_stats.cache_stores > 0
+
+        other = synthesize(net, FlowConfig(cache_db=db))
+        assert other.engine_stats.cache_hits == 0
+        assert other.engine_stats.cache_misses > 0
+        assert other.engine_stats.cache_stores > 0
+
+        # ...while each target's own lane stays warm.
+        warm = synthesize(net, FlowConfig(target="lut-5", cache_db=db))
+        assert warm.engine_stats.cache_misses == 0
+        assert write_blif(warm.network) == write_blif(cold.network)
+
+    def test_target_name_is_an_explicit_key_component(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        net = ones_count_network(5, 3)
+        synthesize(net, FlowConfig(target="lut-5", cache_db=db))
+        synthesize(net, FlowConfig(cache_db=db))
+
+        conn = sqlite3.connect(db)
+        keys = [key for (key,) in conn.execute("SELECT key FROM results")]
+        conn.close()
+        assert keys
+        assert all(":lut-5:" in k or ":xc3000-clb:" in k for k in keys)
+        assert any(":lut-5:" in k for k in keys)
+        assert any(":xc3000-clb:" in k for k in keys)
+
+
+class TestWinnerProvenance:
+    def payloads(self, db):
+        conn = sqlite3.connect(db)
+        rows = [
+            json.loads(blob)
+            for (blob,) in conn.execute("SELECT payload FROM results")
+        ]
+        conn.close()
+        return rows
+
+    def test_every_record_names_its_policy_and_target(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        synthesize(ones_count_network(5, 3), config(db))
+        rows = self.payloads(db)
+        assert rows
+        for payload in rows:
+            assert payload["policy"] == "ladder-peel"
+            assert payload["target"] == "lut-4"  # k=4 resolves to lut-4
+
+    def test_raced_records_name_the_winning_candidate(self, tmp_path):
+        from repro.engine.policies import POLICIES
+
+        db = str(tmp_path / "cache.db")
+        race = "race:" + ",".join(sorted(POLICIES))
+        result = synthesize(
+            ones_count_network(5, 3), FlowConfig(policy=race, cache_db=db)
+        )
+        assert result.race_winners
+        rows = self.payloads(db)
+        assert rows
+        for payload in rows:
+            assert payload["policy"] in POLICIES  # the winner, not "race:..."
+            assert payload["target"] == "xc3000-clb"
+
+
 class TestConfigGuards:
     def test_cache_db_conflicts_with_auto_reorder(self, tmp_path):
         with pytest.raises(ValueError, match="auto_reorder"):

@@ -186,3 +186,75 @@ class TestEngineSection:
         report = build_report(make_tracer(), engine=EngineStats().as_dict())
         validate_report(report)
         assert report["engine"]["executor"] == "serial"
+
+
+class TestTargetSection:
+    SECTION = {
+        "name": "xc3000-clb",
+        "k": 5,
+        "cache_hits": 2,
+        "luts": 23,
+        "units": 20,
+        "unit_name": "XC3000 CLB",
+        "race_winners": {"ladder-peel": 4},
+    }
+
+    def test_target_section_round_trips(self):
+        report = build_report(make_tracer(), target=self.SECTION)
+        assert validate_report(report) is report
+        assert report["target"] == self.SECTION
+        assert json.loads(json.dumps(report))["target"] == self.SECTION
+
+    def test_target_section_omitted_when_not_given(self):
+        report = build_report(make_tracer())
+        assert "target" not in report
+        validate_report(report)
+
+    def test_target_requires_schema_v4(self):
+        report = build_report(make_tracer(), target=self.SECTION)
+        report["schema"] = "repro-run-report/3"
+        with pytest.raises(ReportSchemaError, match=r"\$\.target"):
+            validate_report(report)
+
+    def test_target_needs_a_name(self):
+        report = build_report(make_tracer(), target={"k": 5})
+        with pytest.raises(ReportSchemaError, match="'name'"):
+            validate_report(report)
+        report = build_report(make_tracer(), target={"name": ""})
+        with pytest.raises(ReportSchemaError, match="'name'"):
+            validate_report(report)
+
+    def test_non_scalar_target_entry_rejected(self):
+        section = dict(self.SECTION, extra={"nested": 1})
+        report = build_report(make_tracer(), target=section)
+        with pytest.raises(ReportSchemaError, match="scalar"):
+            validate_report(report)
+
+    @pytest.mark.parametrize(
+        "winners", [["ladder-peel"], {"ladder-peel": -1},
+                    {"ladder-peel": True}, {"ladder-peel": "four"}]
+    )
+    def test_malformed_race_winners_rejected(self, winners):
+        report = build_report(
+            make_tracer(), target={"name": "x", "race_winners": winners}
+        )
+        with pytest.raises(ReportSchemaError, match="race_winners"):
+            validate_report(report)
+
+    def test_failures_on_v2_rejected(self):
+        report = build_report(make_tracer())
+        report["failures"] = [{"kind": "retry"}]
+        report["schema"] = "repro-run-report/2"
+        with pytest.raises(ReportSchemaError, match=r"\$\.failures"):
+            validate_report(report)
+
+    def test_from_targets_report_section(self):
+        from repro.targets import report_section
+
+        report = build_report(
+            make_tracer(),
+            target=report_section(
+                "lut-4", 4, race_winners={"peel-first": 1}
+            ),
+        )
+        validate_report(report)

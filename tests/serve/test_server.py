@@ -123,11 +123,41 @@ class TestProtocol:
         assert status == 200 and env["status"] == "done"
         assert env["blif"] == reference
         report = env["report"]
-        assert report["schema"] == "repro-run-report/3"
+        assert report["schema"] == "repro-run-report/4"
         assert report["meta"]["verified"] is True
         assert report["engine"]["executor"] == "process"
         names = [s["name"] for s in report["spans"]]
         assert "synthesize" in names and "verify" in names
+
+    def test_job_with_target_and_raced_policy(self, server):
+        # The new wire fields thread end-to-end: a bulk-lane lut-4 job
+        # with a raced policy finishes and reports its target section.
+        _, base = server
+        status, body = submit(
+            base,
+            {
+                "circuit": RD53_PLA,
+                "name": "rd53",
+                "target": "lut-4",
+                "policy": "race:ladder-peel,peel-first",
+                "priority": "bulk",
+            },
+        )
+        assert status == 202
+        status, env = poll_until_final(base, body["id"])
+        assert status == 200 and env["status"] == "done"
+        section = env["report"]["target"]
+        assert section["name"] == "lut-4" and section["k"] == 4
+        assert sum(section["race_winners"].values()) > 0
+
+    def test_bad_target_rejected_at_admission(self, server):
+        _, base = server
+        status, body = submit(base, {"circuit": RD53_PLA, "target": "asic"})
+        assert status == 400 and "unknown target" in body["error"]
+        status, body = submit(
+            base, {"circuit": RD53_PLA, "policy": "race:nope"}
+        )
+        assert status == 400 and "unknown policy" in body["error"]
 
     def test_job_listing(self, server):
         _, base = server
@@ -164,6 +194,38 @@ class TestAdmissionAndBudgets:
         queue.submit(Job(id="a", request=JobRequest(circuit="x")))
         with pytest.raises(QueueFull):
             queue.submit(Job(id="b", request=JobRequest(circuit="x")))
+
+    def test_interactive_lane_drains_before_bulk(self):
+        # Bulk jobs are enqueued first; interactive arrivals still jump
+        # ahead of them (lanes are FIFO within themselves).
+        queue = JobQueue(backlog=8)
+        order = [
+            ("b1", "bulk"), ("b2", "bulk"),
+            ("i1", "interactive"), ("i2", "interactive"),
+        ]
+        for job_id, lane in order:
+            queue.submit(
+                Job(id=job_id, request=JobRequest(circuit="x", priority=lane))
+            )
+        drained = [queue.next_job().id for _ in range(4)]
+        assert drained == ["i1", "i2", "b1", "b2"]
+
+    def test_lanes_share_one_backlog_bound(self):
+        # The bound is on total queued work, not per lane: a backlog full
+        # of bulk jobs rejects interactive submissions too (the 503
+        # admission-control contract is unchanged).
+        queue = JobQueue(backlog=2)
+        for job_id in ("b1", "b2"):
+            queue.submit(
+                Job(id=job_id, request=JobRequest(circuit="x", priority="bulk"))
+            )
+        with pytest.raises(QueueFull):
+            queue.submit(
+                Job(
+                    id="i1",
+                    request=JobRequest(circuit="x", priority="interactive"),
+                )
+            )
 
     def test_queue_full_is_503_over_http(self, tmp_path):
         # Stall the only runner with a worker-side delay fault, then

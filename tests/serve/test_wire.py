@@ -17,7 +17,9 @@ class TestParseSubmission:
     def test_minimal_submission(self):
         req = parse_submission({"circuit": ".i 1\n.o 1\n1 1\n.e\n"})
         assert isinstance(req, JobRequest)
-        assert req.k == 5 and req.mode == "multi"
+        assert req.k is None and req.mode == "multi"  # k resolves from target
+        assert req.target == "auto" and req.policy == "ladder-peel"
+        assert req.priority == "interactive"
         assert not req.rugged and not req.strict
         assert req.budget_seconds is None and req.budget_nodes is None
 
@@ -33,12 +35,46 @@ class TestParseSubmission:
                 "strict": True,
                 "budget_seconds": 1.5,
                 "budget_nodes": 1000,
+                "target": "lut-4",
+                "policy": "race:ladder-peel,peel-first",
+                "priority": "bulk",
             }
         )
         assert req.name == "foo" and req.fmt == "pla"
         assert req.k == 4 and req.mode == "single"
         assert req.rugged and req.strict
         assert req.budget_seconds == 1.5 and req.budget_nodes == 1000
+        assert req.target == "lut-4"
+        assert req.policy == "race:ladder-peel,peel-first"
+        assert req.priority == "bulk"
+
+    def test_target_and_policy_validate_like_the_cli(self):
+        # The daemon must reject at admission what the CLI rejects at
+        # argument parsing -- never enqueue a job that cannot run.
+        with pytest.raises(WireError, match="unknown target"):
+            parse_submission({"circuit": "x", "target": "asic"})
+        with pytest.raises(WireError, match="unknown policy"):
+            parse_submission({"circuit": "x", "policy": "warp-speed"})
+        with pytest.raises(WireError, match="malformed race spec"):
+            parse_submission({"circuit": "x", "policy": "race:"})
+        with pytest.raises(WireError, match="twice"):
+            parse_submission(
+                {"circuit": "x", "policy": "race:ladder-peel,ladder-peel"}
+            )
+
+    def test_target_k_conflict_rejected(self):
+        with pytest.raises(WireError, match="contradicts"):
+            parse_submission({"circuit": "x", "target": "lut-4", "k": 5})
+
+    def test_priority_must_name_a_lane(self):
+        for lane in ("interactive", "bulk"):
+            assert parse_submission(
+                {"circuit": "x", "priority": lane}
+            ).priority == lane
+        with pytest.raises(WireError, match="priority"):
+            parse_submission({"circuit": "x", "priority": "urgent"})
+        with pytest.raises(WireError):
+            parse_submission({"circuit": "x", "priority": 3})
 
     @pytest.mark.parametrize(
         "payload",

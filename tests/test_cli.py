@@ -72,10 +72,19 @@ class TestSynth:
         assert main(["synth", str(pla_file), "--mode", "single"]) == 0
         assert "mode = single" in capsys.readouterr().out
 
-    def test_synth_k4_skips_packing(self, pla_file, capsys):
+    def test_synth_k4_packs_xc4000(self, pla_file, capsys):
+        # --k 4 resolves to the lut-4 target, priced in XC4000 CLBs.
         assert main(["synth", str(pla_file), "--k", "4"]) == 0
         out = capsys.readouterr().out
         assert "k = 4" in out
+        assert "XC4000 CLBs" in out
+        assert "XC3000" not in out
+
+    def test_synth_k6_prints_no_packing(self, pla_file, capsys):
+        # lut-6 has no CLB packer; only the LUT count is reported.
+        assert main(["synth", str(pla_file), "--k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 6" in out
         assert "CLBs" not in out
 
     def test_synth_rugged_structural(self, blif_file, capsys):
@@ -253,7 +262,7 @@ class TestExecutorFlag:
         report_path = tmp_path / "run.json"
         assert main(["synth", str(pla_file), "--report", str(report_path)]) == 0
         payload = validate_report(json.loads(report_path.read_text()))
-        assert payload["schema"] == "repro-run-report/3"
+        assert payload["schema"] == "repro-run-report/4"
         engine = payload["engine"]
         assert engine["executor"] == "serial"
         assert engine["tasks_total"] > 0

@@ -31,6 +31,7 @@ DOC_FILES = (
     "docs/RELIABILITY.md",
     "docs/CACHING.md",
     "docs/SERVING.md",
+    "docs/TARGETS.md",
 )
 
 _FENCE = re.compile(r"^```(\w*)\s*$")

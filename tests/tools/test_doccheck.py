@@ -136,6 +136,7 @@ class TestMain:
     def test_default_target_set_is_pinned(self):
         assert DEFAULT_TARGETS == (
             "src/repro/engine", "src/repro/cache", "src/repro/serve",
+            "src/repro/targets",
             "src/repro/bdd/transfer.py", "src/repro/bdd/arena.py",
             "src/repro/bdd/backend.py", "src/repro/bdd/canon.py",
         )
