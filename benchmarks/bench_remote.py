@@ -1,0 +1,170 @@
+"""Remote executor wall-clock: serial vs 1 and 2 broker workers, one host.
+
+The remote executor (``docs/DISTRIBUTED.md``) fans output groups to
+pull-based workers over HTTP/JSON.  This module records what the
+transport costs and buys **on a single host** — deliberately honest
+numbers: a localhost broker cannot show the cross-machine win, only the
+overhead floor (serialize + HTTP round-trips + worker poll latency) and
+the group-level overlap two workers already achieve.
+
+Per circuit the table reports
+
+- **serial**: the in-process baseline drain;
+- **remote 1w**: one subprocess worker — pure transport overhead, every
+  group still runs sequentially (``overhead`` = remote-1w / serial);
+- **remote 2w**: two subprocess workers — groups overlap
+  (``speedup`` = remote-1w / remote-2w, the scaling the transport
+  itself permits).
+
+Every remote run is asserted byte-identical to the serial BLIF first —
+a benchmark of wrong output would be meaningless.  Worker processes are
+started (and the broker warmed) outside every timed region, matching
+how a long-lived cluster amortizes startup.
+"""
+
+import contextlib
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    QUICK,
+    emit,
+    json_row,
+    reset_results,
+    write_json,
+)
+from repro.algebraic.rugged import rugged
+from repro.benchcircuits import get_circuit
+from repro.engine.remote import BrokerConfig, TaskBroker
+from repro.io.blif import write_blif
+from repro.mapping.flow import FlowConfig, synthesize
+
+MODULE = "remote"
+
+REPS = 2
+
+#: (circuit, rugged preprocessing?) rows; all are multi-group nets.
+QUICK_SET = [("rd53", False), ("misex1", True)]
+FULL_SET = [("rd53", False), ("misex1", True), ("5xp1", True)]
+CIRCUITS = QUICK_SET if QUICK else FULL_SET
+
+_rows: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    reset_results(MODULE)
+    emit(MODULE, "== Remote executor on one host: serial vs 1/2 workers "
+                 f"(best of {REPS}, host cpus={os.cpu_count()}) ==")
+    emit(MODULE, f"{'net':>8} | {'grp':>4} {'luts':>5} | {'serial/s':>8} "
+                 f"{'1w/s':>7} {'2w/s':>7} | {'overhead':>8} {'speedup':>7}")
+    yield
+    if not _rows:
+        return
+    worst = max(_rows, key=lambda r: r["overhead"])
+    emit(MODULE, f"  worst transport overhead: {worst['name']} "
+                 f"({worst['overhead']:.2f}x serial with one worker)")
+    write_json(
+        MODULE,
+        reps=REPS,
+        host_cpus=os.cpu_count(),
+        worst_overhead_circuit=worst["name"],
+        worst_overhead=worst["overhead"],
+    )
+
+
+@contextlib.contextmanager
+def cluster(workers: int):
+    """An in-process broker plus ``workers`` subprocess pull workers."""
+    broker = TaskBroker(BrokerConfig(port=0))
+    host, port = broker.start()
+    address = f"{host}:{port}"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--broker", address, "--poll-seconds", "0.05",
+             "--name", f"bench-w{i}"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for i in range(workers)
+    ]
+    try:
+        yield address
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.terminate()
+        for p in procs:
+            try:
+                p.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                p.kill()
+                p.wait()
+        broker.stop()
+
+
+def _best_of(fn):
+    best = None
+    result = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.mark.parametrize("name,make_rugged", CIRCUITS)
+def test_remote_overhead_and_scaling(name, make_rugged):
+    """Serial baseline vs remote with 1 and 2 workers; identical bytes."""
+    net = get_circuit(name).build()
+    if make_rugged:
+        rugged(net)
+
+    t_serial, res = _best_of(lambda: synthesize(net.copy(), FlowConfig()))
+    baseline = write_blif(res.network)
+    luts = len(res.network.nodes)
+
+    times: dict[int, float] = {}
+    groups = 0
+    for workers in (1, 2):
+        with cluster(workers) as address:
+            config = FlowConfig(executor="remote", broker=address)
+            times[workers], res = _best_of(
+                lambda: synthesize(net.copy(), config)
+            )
+        assert write_blif(res.network) == baseline
+        stats = res.engine_stats
+        assert stats.remote is not None
+        assert stats.remote["tasks_completed"] == stats.remote[
+            "tasks_submitted"
+        ]
+        groups = stats.remote["tasks_completed"]
+
+    overhead = round(times[1] / t_serial, 3)
+    speedup = round(times[1] / times[2], 3)
+    _rows.append(dict(name=name, overhead=overhead))
+    emit(MODULE, f"{name:>8} | {groups:>4} {luts:>5} | {t_serial:>8.2f} "
+                 f"{times[1]:>7.2f} {times[2]:>7.2f} | {overhead:>7.2f}x "
+                 f"{speedup:>6.2f}x")
+    json_row(
+        MODULE,
+        name=name,
+        rugged=make_rugged,
+        groups=groups,
+        luts=luts,
+        t_serial_s=round(t_serial, 3),
+        t_remote_1w_s=round(times[1], 3),
+        t_remote_2w_s=round(times[2], 3),
+        overhead_1w=overhead,
+        speedup_2w=speedup,
+    )

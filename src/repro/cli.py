@@ -29,7 +29,14 @@ Results are identical to per-circuit ``synth`` runs.
 
 ``--executor`` picks the engine executor: ``serial`` (default) replays the
 historical recursion order bit-identically; ``process`` maps independent
-output groups in ``--jobs`` worker processes, each on its own BDD manager.
+output groups in ``--jobs`` worker processes, each on its own BDD manager;
+``remote`` fans groups out across hosts through a task broker
+(``--broker HOST:PORT``; see ``docs/DISTRIBUTED.md``).  The broker and its
+workers are separate subcommands::
+
+    python -m repro.cli broker --port 8378
+    python -m repro.cli worker --broker 127.0.0.1:8378
+    python -m repro.cli synth design.pla --executor remote --broker 127.0.0.1:8378
 
 ``--bdd-backend`` picks the BDD manager implementation: ``object``
 (default, the reference dict-of-nodes manager) or ``arena`` (a flat numpy
@@ -179,13 +186,13 @@ def _make_config(args: argparse.Namespace) -> FlowConfig:
     fault_plan = (
         parse_fault_plan(args.inject_faults) if args.inject_faults else None
     )
-    if fault_plan is not None and args.executor != "process":
-        raise ValueError("--inject-faults needs --executor process")
+    if fault_plan is not None and args.executor not in ("process", "remote"):
+        raise ValueError("--inject-faults needs --executor process or remote")
     checkpoint = getattr(args, "checkpoint", None)
     resume = getattr(args, "resume", None)
-    if (checkpoint or resume) and args.executor != "process":
+    if (checkpoint or resume) and args.executor not in ("process", "remote"):
         raise ValueError(
-            "--checkpoint/--resume need --executor process "
+            "--checkpoint/--resume need --executor process or remote "
             "(the serial executor has no group boundary to checkpoint at)"
         )
     if (checkpoint or resume) and getattr(args, "structural", False):
@@ -198,6 +205,7 @@ def _make_config(args: argparse.Namespace) -> FlowConfig:
         strict=args.strict,
         jobs=args.jobs,
         executor=args.executor,
+        broker=getattr(args, "broker", None),
         bdd_backend=args.bdd_backend,
         auto_reorder=args.auto_reorder,
         reorder_factor=args.reorder_factor,
@@ -332,14 +340,23 @@ def _merge_engine_stats(results) -> dict:
     """Sum engine task counters across a batch (flat, report-ready).
 
     Failed circuits (``ReproError`` entries under ``fail_fast=False``) have
-    no stats and are skipped.
+    no stats and are skipped.  The remote executor's nested ``remote``
+    object merges key-wise (strings copied, counters summed).
     """
-    merged: dict[str, int | str] = {}
+    merged: dict[str, int | str | dict] = {}
     for res in results:
         if isinstance(res, ReproError):
             continue
         for key, value in res.engine_stats.as_dict().items():
-            if isinstance(value, str):
+            if isinstance(value, dict):
+                nested = merged.setdefault(key, {})
+                assert isinstance(nested, dict)
+                for nkey, nvalue in value.items():
+                    if isinstance(nvalue, str):
+                        nested[nkey] = nvalue
+                    else:
+                        nested[nkey] = int(nested.get(nkey, 0)) + nvalue
+            elif isinstance(value, str):
                 merged[key] = value
             elif key in ("workers", "queue_depth_max"):
                 merged[key] = max(int(merged.get(key, 0)), value)
@@ -463,9 +480,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_db=args.cache_db,
             task_retries=args.task_retries,
             fault_plan=args.inject_faults,
+            broker=args.broker,
         )
     )
     return server.serve_forever()
+
+
+def cmd_broker(args: argparse.Namespace) -> int:
+    """Run the remote-executor task broker (see docs/DISTRIBUTED.md)."""
+    from repro.engine.remote import BrokerConfig, TaskBroker
+
+    broker = TaskBroker(
+        BrokerConfig(host=args.host, port=args.port, cache_db=args.cache_db)
+    )
+    return broker.serve_forever()
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one remote decomposition worker against a broker."""
+    from repro.engine.remote import run_worker
+
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        def handler(signum: int, frame) -> None:
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+    return run_worker(
+        args.broker,
+        name=args.name,
+        stop=stop,
+        poll_seconds=args.poll_seconds,
+        idle_exit=args.idle_exit,
+    )
 
 
 def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
@@ -484,9 +535,16 @@ def _add_flow_options(cmd: argparse.ArgumentParser) -> None:
                           "'race:p1,p2,...' -- every candidate maps each "
                           "group and the cheapest result under --target "
                           "wins deterministically")
-    cmd.add_argument("--executor", choices=["serial", "process"], default="serial",
+    cmd.add_argument("--executor", choices=["serial", "process", "remote"],
+                     default="serial",
                      help="engine executor: serial replays the recursion order, "
-                          "process fans groups out to worker processes")
+                          "process fans groups out to worker processes, remote "
+                          "fans them out across hosts through a task broker "
+                          "(--broker; see docs/DISTRIBUTED.md)")
+    cmd.add_argument("--broker", metavar="HOST:PORT",
+                     help="task-broker address for --executor remote "
+                          "(start one with 'repro broker', attach workers "
+                          "with 'repro worker')")
     cmd.add_argument("--jobs", type=int, default=1,
                      help="worker processes (engine workers, bound-set scoring)")
     cmd.add_argument("--bdd-backend", choices=list(BACKEND_NAMES),
@@ -594,7 +652,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--inject-faults", metavar="PLAN",
                        help="deterministic fault plan applied to every job "
                             "(testing only; see docs/RELIABILITY.md)")
+    serve.add_argument("--broker", metavar="HOST:PORT",
+                       help="delegate decomposition to a remote task broker "
+                            "instead of the local worker pool "
+                            "(see docs/DISTRIBUTED.md)")
     serve.set_defaults(func=cmd_serve)
+
+    broker = sub.add_parser(
+        "broker",
+        help="remote-executor task broker (see docs/DISTRIBUTED.md)",
+    )
+    broker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    broker.add_argument("--port", type=int, default=8378,
+                        help="TCP port (default 8378; 0 picks a free port)")
+    broker.add_argument("--cache-db", metavar="FILE",
+                        help="shared persistent result cache consulted by "
+                             "workers through the broker (see docs/CACHING.md)")
+    broker.set_defaults(func=cmd_broker)
+
+    worker = sub.add_parser(
+        "worker",
+        help="remote decomposition worker (see docs/DISTRIBUTED.md)",
+    )
+    worker.add_argument("--broker", required=True, metavar="HOST:PORT",
+                        help="task-broker address to pull work from")
+    worker.add_argument("--name", metavar="NAME",
+                        help="worker name reported to the broker "
+                             "(default host:pid)")
+    worker.add_argument("--poll-seconds", type=float, default=2.0, metavar="S",
+                        help="long-poll wait per request for new tasks "
+                             "(default 2.0)")
+    worker.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                        help="exit 0 after S seconds without work "
+                             "(default: run until signalled)")
+    worker.set_defaults(func=cmd_worker)
     return parser
 
 

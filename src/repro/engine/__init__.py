@@ -23,6 +23,10 @@ explicit:
   the historical recursion order bit-identically; ``process`` fans
   independent vector tasks out to worker processes, each on its own BDD
   manager, and re-imports the mapped sub-networks.
+- :mod:`repro.engine.remote` -- the ``remote`` executor: groups fanned
+  out across *hosts* through a stdlib HTTP broker (``repro broker`` /
+  ``repro worker``), with lease-based dead-host detection feeding the
+  same retry/degrade ladder (see ``docs/DISTRIBUTED.md``).
 - :mod:`repro.engine.batch` -- many networks through one shared queue.
 - :mod:`repro.engine.faults` -- deterministic seeded fault injection for
   exercising the executor's recovery paths (``--inject-faults``).

@@ -49,6 +49,9 @@ _NON_SEMANTIC_FIELDS = frozenset(
     {
         "jobs",
         "executor",
+        # The broker address is pure transport: a remote run resumes a
+        # serial checkpoint (and vice versa) to byte-identical output.
+        "broker",
         # Both BDD backends emit byte-identical networks (the PR 5
         # equivalence guarantee, enforced by CI), so checkpoint files and
         # cache entries are shareable across them.

@@ -1029,13 +1029,19 @@ def make_executor(config: "FlowConfig") -> Executor:
         return SerialExecutor()
     if name == "process":
         return ProcessExecutor(config.jobs)
+    if name == "remote":
+        # Imported lazily: the remote transport is optional machinery
+        # that serial/process runs should never pay for.
+        from repro.engine.remote.executor import RemoteExecutor
+
+        return RemoteExecutor(config)
     raise ValueError(
         f"unknown executor {name!r} (have: {sorted(EXECUTORS)})"
     )
 
 
 #: Registry of executor names accepted by ``FlowConfig.executor``.
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "remote")
 
 
 class Engine:

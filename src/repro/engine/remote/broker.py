@@ -1,0 +1,506 @@
+"""The task broker: an HTTP task board between coordinators and workers.
+
+``repro broker`` runs one of these per cluster.  Coordinators (the
+:class:`repro.engine.remote.executor.RemoteExecutor`) POST task
+envelopes; workers long-poll ``POST /tasks/next`` and are granted a
+**lease** -- the task with an expiry stamped from the envelope's
+``lease_seconds``.  A worker that posts its result before the expiry
+completes the task; a worker that does not (crashed host, partitioned
+network, hung decomposition) loses the lease and the task requeues for
+the next worker, with its armed fault stripped (faults fire exactly
+once -- see :func:`repro.engine.remote.wire.strip_fault`).  A task that
+exhausts its requeue budget is failed broker-side with a synthetic
+``LeaseExpired`` error, which the coordinator's retry ladder treats
+like any worker death: retry, then degrade to serial.
+
+Endpoints (all JSON; schemas in :mod:`repro.engine.remote.wire`):
+
+- ``POST /tasks`` -- submit one task envelope; 503 while draining.
+- ``POST /tasks/next`` -- worker poll (body: ``worker``, ``wait``);
+  long-polls up to ``wait`` seconds; ``{"task": null}`` when idle,
+  ``{"draining": true}`` tells workers to exit.
+- ``POST /results`` -- worker posts a result envelope; duplicate or
+  unknown ids answer ``{"recorded": false}`` (the lease may have been
+  reassigned -- last write loses, first write wins).
+- ``GET /tasks/<id>`` -- coordinator poll: state, requeue count, and
+  the result envelope once done.
+- ``DELETE /tasks/<id>`` -- cancel/collect: removes the task outright.
+- ``GET /cache/<key>`` -- shared result-store lookup (``--cache-db``);
+  ok results are recorded automatically under the task's cache key.
+- ``GET /healthz`` / ``GET /stats`` -- liveness and counters.
+
+The board is deliberately memory-only: completed tasks are deleted by
+the coordinator as it collects them, and coordinator-side
+checkpointing (``--checkpoint``) -- not the broker -- is the durability
+story, exactly as for the process executor.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.remote.wire import (
+    RESULT_SCHEMA,
+    RemoteWireError,
+    parse_result,
+    parse_task,
+    strip_fault,
+)
+
+#: Largest accepted request body -- PortableDags of big circuits are
+#: much larger than serve's job submissions.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Ceiling on one long-poll wait; clients re-poll after this.
+MAX_POLL_WAIT = 30.0
+
+#: Lease-reap granularity while a long-poll waits.
+_POLL_SLICE = 0.25
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Everything ``repro broker`` needs to run.
+
+    Attributes:
+        host: bind address.
+        port: TCP port (0 picks a free one).
+        cache_db: shared persistent result store served to workers, if
+            any (see ``docs/CACHING.md``; opened via the never-fatal
+            :func:`repro.cache.store.open_store`).
+        default_lease: lease seconds for task envelopes that carry none.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8378
+    cache_db: str | None = None
+    default_lease: float = 60.0
+
+
+@dataclass
+class _Task:
+    """Broker-side state of one task (the envelope plus lease bookkeeping)."""
+
+    id: str
+    envelope: dict
+    state: str = "pending"  # pending | leased | done
+    worker: str | None = None
+    lease_expiry: float | None = None
+    requeues: int = 0
+    result: dict | None = None
+    ever_leased: bool = False
+
+
+@dataclass
+class _Board:
+    """The mutable task board (guarded by ``cond``'s lock)."""
+
+    tasks: dict[str, _Task] = field(default_factory=dict)
+    queue: deque = field(default_factory=deque)
+    cond: threading.Condition = field(default_factory=threading.Condition)
+    counters: dict = field(
+        default_factory=lambda: {
+            "tasks_submitted": 0,
+            "tasks_completed": 0,
+            "results_posted": 0,
+            "results_ignored": 0,
+            "leases_granted": 0,
+            "lease_expiries": 0,
+            "tasks_cancelled": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+    )
+    workers_seen: set = field(default_factory=set)
+
+
+class _BrokerHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a reference to the broker."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Set by :class:`TaskBroker` right after construction.
+    broker: "TaskBroker"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler translating HTTP onto the task board."""
+
+    server: _BrokerHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def _send_json(self, status: int, body: dict) -> None:
+        """Serialize one JSON response with correct framing."""
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, message: str) -> None:
+        """One-line JSON error body."""
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict | None:
+        """The request's JSON body, or None after an error response."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "JSON request body required")
+            return None
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"malformed JSON body: {exc}")
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """``POST /tasks``, ``POST /tasks/next``, ``POST /results``."""
+        broker = self.server.broker
+        path = self.path.rstrip("/")
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            if path == "/tasks":
+                if broker.draining:
+                    self._error(503, "broker is draining; no new tasks")
+                    return
+                self._send_json(202, broker.submit(parse_task(body)))
+            elif path == "/tasks/next":
+                self._send_json(200, broker.next_task(body))
+            elif path == "/results":
+                self._send_json(200, broker.post_result(parse_result(body)))
+            else:
+                self._error(404, f"unknown endpoint {self.path!r}")
+        except RemoteWireError as exc:
+            self._error(400, str(exc))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """``GET /tasks/<id>``, ``/cache/<key>``, ``/healthz``, ``/stats``."""
+        broker = self.server.broker
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            status = "draining" if broker.draining else "ok"
+            self._send_json(503 if broker.draining else 200, {"status": status})
+        elif path == "/stats":
+            self._send_json(200, broker.stats())
+        elif path.startswith("/tasks/"):
+            self._send_json(200, broker.task_status(path[len("/tasks/"):]))
+        elif path.startswith("/cache/"):
+            self._send_json(200, broker.cache_lookup(path[len("/cache/"):]))
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        """``DELETE /tasks/<id>``: cancel or collect-and-forget."""
+        broker = self.server.broker
+        path = self.path.rstrip("/")
+        if path.startswith("/tasks/"):
+            self._send_json(200, broker.cancel(path[len("/tasks/"):]))
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter (tests and CI logs)."""
+
+
+class TaskBroker:
+    """The long-lived task board behind ``repro broker``.
+
+    Construct with a :class:`BrokerConfig`, then either call
+    :meth:`serve_forever` (CLI: installs signal handlers, blocks until
+    drained) or drive it in-process with :meth:`start` / :meth:`stop`
+    (tests).  All board mutations happen under one condition variable;
+    expired leases are reaped on every poll that observes the board, so
+    no background reaper thread is needed.
+    """
+
+    def __init__(self, config: BrokerConfig) -> None:
+        """Wire up the board and the optional shared store (nothing binds yet)."""
+        self.config = config
+        self.board = _Board()
+        self.draining = False
+        self._store = None
+        self._httpd: _BrokerHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._drain_lock = threading.Lock()
+        self._drained = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) -- valid after :meth:`start`."""
+        assert self._httpd is not None, "broker not started"
+        return self._httpd.server_address[:2]
+
+    # ------------------------------------------------------------------
+    # board operations (each takes and releases the lock)
+    # ------------------------------------------------------------------
+
+    def submit(self, envelope: dict) -> dict:
+        """Queue one validated task envelope; idempotent per task id."""
+        board = self.board
+        with board.cond:
+            task_id = envelope["id"]
+            if task_id in board.tasks:
+                return {"accepted": False, "id": task_id,
+                        "error": "duplicate task id"}
+            board.tasks[task_id] = _Task(id=task_id, envelope=envelope)
+            board.queue.append(task_id)
+            board.counters["tasks_submitted"] += 1
+            board.cond.notify()
+            return {"accepted": True, "id": task_id}
+
+    def next_task(self, body: dict) -> dict:
+        """Grant the next pending task to a polling worker (long-poll).
+
+        Blocks up to ``body["wait"]`` seconds (clamped to
+        :data:`MAX_POLL_WAIT`); reaps expired leases on every wake-up so
+        requeued tasks are handed out promptly.
+        """
+        worker = str(body.get("worker", "anonymous"))
+        wait = min(float(body.get("wait", 0.0)), MAX_POLL_WAIT)
+        board = self.board
+        deadline = time.monotonic() + max(0.0, wait)
+        with board.cond:
+            board.workers_seen.add(worker)
+            while True:
+                self._reap_locked()
+                if self.draining:
+                    return {"task": None, "draining": True}
+                if board.queue:
+                    task = board.tasks[board.queue.popleft()]
+                    task.state = "leased"
+                    task.worker = worker
+                    task.ever_leased = True
+                    lease = float(
+                        task.envelope.get("lease_seconds")
+                        or self.config.default_lease
+                    )
+                    task.lease_expiry = time.monotonic() + lease
+                    board.counters["leases_granted"] += 1
+                    return {"task": task.envelope, "draining": False}
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {"task": None, "draining": False}
+                board.cond.wait(min(_POLL_SLICE, remaining))
+
+    def post_result(self, envelope: dict) -> dict:
+        """Record one worker result; first write wins, strays are ignored."""
+        board = self.board
+        with board.cond:
+            task = board.tasks.get(envelope["id"])
+            if task is None or task.state == "done":
+                board.counters["results_ignored"] += 1
+                return {"recorded": False}
+            task.state = "done"
+            task.result = envelope
+            board.counters["results_posted"] += 1
+            if envelope["ok"]:
+                board.counters["tasks_completed"] += 1
+            self._maybe_record_cache(task, envelope)
+            board.cond.notify_all()
+            return {"recorded": True}
+
+    def task_status(self, task_id: str) -> dict:
+        """Coordinator-side poll of one task's state."""
+        board = self.board
+        with board.cond:
+            self._reap_locked()
+            task = board.tasks.get(task_id)
+            if task is None:
+                return {"id": task_id, "state": "unknown"}
+            status = {
+                "id": task_id,
+                "state": task.state,
+                "requeues": task.requeues,
+                "worker": task.worker,
+            }
+            if task.result is not None:
+                status.update(task.result)
+            return status
+
+    def cancel(self, task_id: str) -> dict:
+        """Remove one task from the board (cancel or collect-and-forget).
+
+        ``cancelled`` is True only when the task never ran anywhere --
+        the ``Future.cancel`` contract the remote executor's futures
+        relay (a requeued task has partially run on a now-dead host).
+        """
+        board = self.board
+        with board.cond:
+            task = board.tasks.pop(task_id, None)
+            if task is None:
+                return {"cancelled": False, "known": False}
+            try:
+                board.queue.remove(task_id)
+            except ValueError:
+                pass
+            cancelled = task.state == "pending" and not task.ever_leased
+            if cancelled:
+                board.counters["tasks_cancelled"] += 1
+            return {"cancelled": cancelled, "known": True}
+
+    def cache_lookup(self, key: str) -> dict:
+        """Shared result-store lookup for workers (miss answers null)."""
+        store = self._store
+        hit = store.get(key) if store is not None else None
+        with self.board.cond:
+            self.board.counters[
+                "cache_hits" if hit is not None else "cache_misses"
+            ] += 1
+        return {"key": key, "result": hit}
+
+    def stats(self) -> dict:
+        """Counters plus a snapshot of the board's shape."""
+        board = self.board
+        with board.cond:
+            self._reap_locked()
+            states: dict[str, int] = {}
+            for task in board.tasks.values():
+                states[task.state] = states.get(task.state, 0) + 1
+            return {
+                "counters": dict(board.counters),
+                "tasks": states,
+                "workers": sorted(board.workers_seen),
+                "draining": self.draining,
+            }
+
+    def _maybe_record_cache(self, task: _Task, envelope: dict) -> None:
+        """Auto-record an ok, freshly-computed result in the shared store."""
+        key = task.envelope.get("cache_key")
+        if (
+            self._store is None
+            or key is None
+            or not envelope["ok"]
+            or envelope.get("cache") == "hit"
+        ):
+            return
+        self._store.put(key, envelope["result"])
+
+    def _reap_locked(self) -> None:
+        """Requeue or fail every task whose lease has expired (lock held)."""
+        board = self.board
+        now = time.monotonic()
+        for task in board.tasks.values():
+            if task.state != "leased" or task.lease_expiry is None:
+                continue
+            if now < task.lease_expiry:
+                continue
+            board.counters["lease_expiries"] += 1
+            task.requeues += 1
+            task.lease_expiry = None
+            budget = int(task.envelope.get("max_requeues", 1))
+            if task.requeues > budget:
+                task.state = "done"
+                task.result = {
+                    "schema": RESULT_SCHEMA,
+                    "id": task.id,
+                    "worker": task.worker,
+                    "ok": False,
+                    "result": None,
+                    "error": {
+                        "type": "LeaseExpired",
+                        "message": (
+                            f"lease expired {task.requeues} time(s); "
+                            f"last worker {task.worker!r} presumed dead"
+                        ),
+                    },
+                    "cache": None,
+                }
+                board.cond.notify_all()
+            else:
+                task.envelope = strip_fault(task.envelope)
+                task.state = "pending"
+                task.worker = None
+                # Requeue at the front: the coordinator has been waiting
+                # on this group longest.
+                board.queue.appendleft(task.id)
+                board.cond.notify()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind the listener and open the shared store; returns (host, port)."""
+        if self.config.cache_db is not None:
+            from repro.cache.store import open_store
+
+            self._store = open_store(self.config.cache_db)
+        self._httpd = _BrokerHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.broker = self
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-broker-listener",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Gracefully drain and shut down (idempotent).
+
+        New submissions get 503, polling workers are told to exit,
+        pending tasks are dropped -- the coordinator's retry ladder and
+        checkpoints own durability -- and the listener stops.
+        """
+        with self._drain_lock:
+            if self.draining:
+                self._drained.wait()
+                return
+            self.draining = True
+        with self.board.cond:
+            self.board.cond.notify_all()  # wake long-polls into "draining"
+        if self.config.cache_db is not None:
+            from repro.cache.store import close_store
+
+            close_store(self.config.cache_db)
+            self._store = None
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+        self._drained.set()
+
+    def serve_forever(self) -> int:
+        """CLI entry point: serve until SIGINT/SIGTERM, then drain.
+
+        The handler hands the drain to a helper thread -- :meth:`stop`
+        must not run on the thread executing the signal handler, which
+        may be blocked inside the listener it is about to stop.
+        """
+        host, port = self.start()
+
+        def _drain(signum: int, frame) -> None:
+            threading.Thread(
+                target=self.stop, name="repro-broker-drain", daemon=True
+            ).start()
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _drain)
+        print(f"repro broker: listening on http://{host}:{port}", flush=True)
+        try:
+            assert self._serve_thread is not None
+            while self._serve_thread.is_alive():
+                self._serve_thread.join(timeout=0.2)
+        finally:
+            self.stop()  # no-op when the drain already ran
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+        print("repro broker: drained", flush=True)
+        return 0

@@ -20,7 +20,7 @@ bit-identical to the pre-engine flow (see ``docs/ARCHITECTURE.md``).
 
 The graph keeps per-kind counters and a queue-depth high-water mark;
 :meth:`TaskGraph.stats` snapshots them as an :class:`EngineStats` for the
-run report's ``engine`` section (``repro-run-report/3``).
+run report's ``engine`` section (``repro-run-report/5``).
 """
 
 from __future__ import annotations
@@ -84,6 +84,11 @@ class EngineStats:
         race_failures: candidate runs that failed permanently and were
             excluded from their group's race (the race proceeds as long
             as one candidate survives).
+        remote: nested counters of the remote executor (broker address,
+            tasks submitted/completed, lease expiries, shared-cache
+            hits, broker errors); None for every other executor, and
+            then omitted from :meth:`as_dict` -- the report's ``engine``
+            section only carries a ``remote`` object on remote runs.
     """
 
     executor: str = "serial"
@@ -113,10 +118,15 @@ class EngineStats:
     race_candidates: int = 0
     race_losers_cancelled: int = 0
     race_failures: int = 0
+    remote: dict | None = None
 
     def as_dict(self) -> dict:
-        """Flat JSON form for ``build_report(engine=...)``."""
-        return asdict(self)
+        """JSON form for ``build_report(engine=...)``: flat scalars plus
+        the nested ``remote`` object on remote runs (dropped when None)."""
+        data = asdict(self)
+        if data.get("remote") is None:
+            del data["remote"]
+        return data
 
 
 _STAT_FIELD = {

@@ -89,6 +89,7 @@ def run_group(payload: GroupPayload) -> GroupResult:
         payload.config,
         jobs=1,
         executor="serial",
+        broker=None,  # remote workers must never re-dispatch remotely
         fault_plan=None,
         checkpoint_path=None,
         resume_from=None,

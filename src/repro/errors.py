@@ -115,6 +115,18 @@ class RunInterrupted(ReproError):
     """
 
 
+class RemoteTaskError(ReproError):
+    """A remotely-executed group failed on or behind the broker.
+
+    Wraps worker-side exceptions that travel back as typed error
+    envelopes (see :mod:`repro.engine.remote.wire`) and broker-side
+    synthetic failures such as ``LeaseExpired`` (a worker's host died or
+    partitioned mid-group).  The remote executor's retry ladder treats
+    it exactly like any worker exception: retry with backoff, then
+    degrade to the in-parent serial path.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint file cannot be used to resume the current run.
 

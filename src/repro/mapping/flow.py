@@ -21,7 +21,9 @@ The decomposition work itself runs on the task-graph engine
 (:mod:`repro.engine`): every step is an explicit task drained by the
 executor named in ``FlowConfig.executor`` -- ``serial`` replays the
 historical recursion order bit-identically, ``process`` fans independent
-output groups out to worker processes.  The heuristics live behind
+output groups out to worker processes, ``remote`` fans them out across
+hosts through a broker (``FlowConfig.broker``; see
+``docs/DISTRIBUTED.md``).  The heuristics live behind
 ``FlowConfig.policy`` (see :mod:`repro.engine.policies`).
 """
 
@@ -63,7 +65,7 @@ class FlowConfig:
     max_group: int | None = None  # the paper's "limit m" valve
     max_globals: int | None = 64  # Property-1 abort threshold
     jobs: int = 1  # process-pool width (engine workers, bound-set scoring)
-    executor: Literal["serial", "process"] = "serial"
+    executor: Literal["serial", "process", "remote"] = "serial"
     policy: str = "ladder-peel"  # decomposition heuristic (engine.policies)
     ladder_cap: int = 12  # hard ceiling of the bound-size ladder
     peel_rounds: int = 3  # lone-output peel rounds per vector
@@ -83,6 +85,9 @@ class FlowConfig:
 
     # -- persistent result cache (see docs/CACHING.md) ------------------
     cache_db: str | None = None  # sqlite store of canonical group results
+
+    # -- distributed execution (see docs/DISTRIBUTED.md) ----------------
+    broker: str | None = None  # HOST:PORT of the remote-executor broker
 
     def __post_init__(self) -> None:
         if self.k is not None and self.k < 3:
@@ -128,10 +133,19 @@ class FlowConfig:
             )
         if self.reorder_factor <= 1.0:
             raise ValueError("reorder_factor must be > 1.0")
-        if self.auto_reorder and self.executor == "process":
+        if self.auto_reorder and self.executor != "serial":
             raise ValueError(
                 "auto_reorder needs the serial executor (workers map groups "
                 "on private managers with no shared growth to watch)"
+            )
+        if self.executor == "remote" and self.broker is None:
+            raise ValueError(
+                "executor 'remote' needs a broker address "
+                "(FlowConfig.broker / --broker HOST:PORT)"
+            )
+        if self.broker is not None and self.executor != "remote":
+            raise ValueError(
+                "broker is only meaningful with executor='remote'"
             )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")

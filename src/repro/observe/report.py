@@ -2,16 +2,17 @@
 
 A run report is the JSON serialization of a :class:`repro.observe.Tracer`
 span tree plus run metadata.  The format is versioned
-(``repro-run-report/4``) and validated by :func:`validate_report` -- a
+(``repro-run-report/5``) and validated by :func:`validate_report` -- a
 dependency-free structural checker the CI smoke runs against every emitted
 report (``python -m repro.observe out.json``).  Version 1 (no ``engine``
-section), version 2 (no ``failures`` array) and version 3 (no ``target``
-section) reports are still accepted by the validator.
+section), version 2 (no ``failures`` array), version 3 (no ``target``
+section) and version 4 (no nested ``engine.remote`` object) reports are
+still accepted by the validator.
 
 Schema (all times in seconds, all counters numeric)::
 
     {
-      "schema": "repro-run-report/4",
+      "schema": "repro-run-report/5",
       "total_seconds": <float>,          # sum of top-level span times
       "meta": {<str>: <scalar>, ...},    # free-form run metadata
       "engine": {<str>: <scalar>, ...},  # optional: task-graph engine stats
@@ -41,7 +42,12 @@ The ``target`` section (new in version 4, see ``docs/TARGETS.md``)
 describes the technology target the run mapped for: a required
 non-empty ``name``, scalar entries (``k``, cost totals, per-target
 cache counters), and an optional ``race_winners`` object counting how
-many raced groups each policy of a ``race:`` portfolio won.
+many raced groups each policy of a ``race:`` portfolio won.  Version 5
+(see ``docs/DISTRIBUTED.md``) allows one nested object inside
+``engine``: a ``remote`` entry of scalars (broker address, tasks
+submitted/completed, lease expiries, shared-cache hits, broker errors)
+that remote-executor runs attach; every other ``engine`` entry remains
+a flat scalar.
 
 :func:`format_tree` renders the same tree for humans (the CLI's
 ``--trace``).
@@ -54,8 +60,9 @@ from typing import Any
 
 from repro.observe.tracer import Span, Tracer
 
-SCHEMA_ID = "repro-run-report/4"
+SCHEMA_ID = "repro-run-report/5"
 #: Previous schema versions, still accepted by :func:`validate_report`.
+SCHEMA_ID_V4 = "repro-run-report/4"
 SCHEMA_ID_V3 = "repro-run-report/3"
 SCHEMA_ID_V2 = "repro-run-report/2"
 SCHEMA_ID_V1 = "repro-run-report/1"
@@ -160,7 +167,7 @@ def validate_report(payload: Any) -> dict[str, Any]:
     if not isinstance(payload, dict):
         _fail("$", "report must be an object")
     schema = payload.get("schema")
-    known = (SCHEMA_ID, SCHEMA_ID_V3, SCHEMA_ID_V2, SCHEMA_ID_V1)
+    known = (SCHEMA_ID, SCHEMA_ID_V4, SCHEMA_ID_V3, SCHEMA_ID_V2, SCHEMA_ID_V1)
     if schema not in known:
         _fail(
             "$.schema",
@@ -179,13 +186,34 @@ def validate_report(payload: Any) -> dict[str, Any]:
         if not isinstance(payload["engine"], dict):
             _fail("$.engine", "must be an object")
         for key, value in payload["engine"].items():
-            if not isinstance(key, str) or not isinstance(value, _SCALAR):
+            if not isinstance(key, str):
+                _fail("$.engine", "entry names must be strings")
+            if key == "remote":
+                if schema != SCHEMA_ID:
+                    _fail(
+                        "$.engine",
+                        "nested remote object requires schema "
+                        "repro-run-report/5",
+                    )
+                if not isinstance(value, dict):
+                    _fail("$.engine", "remote must be an object")
+                for rkey, rvalue in value.items():
+                    if not isinstance(rkey, str) or not isinstance(
+                        rvalue, _SCALAR
+                    ):
+                        _fail(
+                            "$.engine",
+                            f"remote entry {rkey!r} must map a string "
+                            "to a scalar",
+                        )
+                continue
+            if not isinstance(value, _SCALAR):
                 _fail("$.engine", f"entry {key!r} must map a string to a scalar")
     if "target" in payload:
-        if schema != SCHEMA_ID:
+        if schema not in (SCHEMA_ID, SCHEMA_ID_V4):
             _fail(
                 "$.target",
-                "target section requires schema repro-run-report/4",
+                "target section requires schema repro-run-report/4 or newer",
             )
         section = payload["target"]
         if not isinstance(section, dict):

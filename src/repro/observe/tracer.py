@@ -192,7 +192,7 @@ class Tracer:
         attempt (timeout, worker crash, injected fault, ...).  Events
         accumulate on the tracer -- not on a span -- and surface as the
         run report's top-level ``failures`` array
-        (``repro-run-report/3``); a ``task_failures`` counter is bumped
+        (``repro-run-report/5``); a ``task_failures`` counter is bumped
         on the innermost open span so aggregate views stay cheap.
         """
         self.failures.append(dict(fields))

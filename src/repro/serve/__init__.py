@@ -1,7 +1,7 @@
 """``repro serve``: the long-lived HTTP synthesis daemon.
 
 The package turns the one-shot synthesis flow into a service: submit
-PLA/BLIF circuits over HTTP, poll for ``repro-run-report/3`` progress,
+PLA/BLIF circuits over HTTP, poll for ``repro-run-report/5`` progress,
 and fetch BLIF byte-identical to the CLI.  Concurrent requests multiplex
 onto one shared process pool at group granularity; per-request budgets
 map to HTTP 429/503; shutdown is a checkpointing graceful drain.  See

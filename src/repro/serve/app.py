@@ -9,7 +9,7 @@ Endpoints (all JSON; see ``docs/SERVING.md`` for the wire schemas):
   ``policy`` pick the technology target and decomposition policy (see
   ``docs/TARGETS.md``).
 - ``GET /jobs/<id>`` -- poll one job; the body is the job envelope
-  (``repro-serve-job/1`` wrapping a ``repro-run-report/4`` report) and
+  (``repro-serve-job/1`` wrapping a ``repro-run-report/5`` report) and
   the HTTP status mirrors the job status (429 budget-exceeded, 503
   interrupted, 500 failed, 404 unknown).
 - ``GET /jobs`` -- list every known job id and status.
@@ -64,6 +64,10 @@ class ServerConfig:
         cache_db: shared persistent result cache, if any.
         task_retries: per-group retry budget.
         fault_plan: fault-injection plan applied to every job (testing).
+        broker: remote task-broker address; when set, jobs run under the
+            remote executor and the daemon delegates decomposition to the
+            broker's workers instead of its local pool (byte-identical
+            output; see ``docs/DISTRIBUTED.md``).
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +79,7 @@ class ServerConfig:
     cache_db: str | None = None
     task_retries: int = 2
     fault_plan: str | None = None
+    broker: str | None = None
 
 
 class _JobHTTPServer(ThreadingHTTPServer):
@@ -188,6 +193,7 @@ class SynthesisServer:
             cache_db=config.cache_db,
             task_retries=config.task_retries,
             fault_plan=config.fault_plan,
+            broker=config.broker,
         )
         self._runners: list[JobRunner] = []
         self._httpd: _JobHTTPServer | None = None

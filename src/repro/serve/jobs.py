@@ -70,7 +70,7 @@ class Job:
         status: current lifecycle status (:data:`wire.JOB_STATUSES`).
         error: message of the failure/budget/interrupt, if any.
         blif: mapped netlist text (``done`` jobs only).
-        report: final ``repro-run-report/3`` payload (finished jobs).
+        report: final ``repro-run-report/5`` payload (finished jobs).
         tracer: the live tracer while the job runs (for progress
             snapshots); dropped once the final report is built.
     """
@@ -274,12 +274,16 @@ class RunnerConfig:
         cache_db: path of the shared persistent result cache, if any.
         task_retries: per-group retry budget.
         fault_plan: fault-injection plan string (testing only).
+        broker: remote task-broker address; when set every job runs under
+            the remote executor instead of the local process pool
+            (``docs/DISTRIBUTED.md``).
     """
 
     jobs: int = 2
     cache_db: str | None = None
     task_retries: int = 2
     fault_plan: str | None = None
+    broker: str | None = None
 
 
 def flow_config(
@@ -305,7 +309,8 @@ def flow_config(
         policy=request.policy,
         strict=request.strict,
         jobs=runner.jobs,
-        executor="process",
+        executor="remote" if runner.broker else "process",
+        broker=runner.broker,
         task_retries=runner.task_retries,
         fault_plan=(
             parse_fault_plan(runner.fault_plan)
@@ -323,7 +328,7 @@ def run_job(job: Job, registry: JobRegistry, runner: RunnerConfig) -> None:
 
     Mirrors ``repro synth``: same flow calls, same span names, same
     budget semantics -- so the BLIF is byte-identical to the CLI and the
-    report is the same ``repro-run-report/4`` document.  Every exit path
+    report is the same ``repro-run-report/5`` document.  Every exit path
     (success, failure, blown budget, interrupt) persists the job, and a
     failed or blown run still carries a partial report with the
     ``failures`` array populated.

@@ -11,7 +11,7 @@ One HTTP exchange speaks two schemas:
   :class:`WireError` (HTTP 400);
 - the **job envelope** (``GET /jobs/<id>`` body, schema
   ``repro-serve-job/1``) wraps the job's status, its mapped BLIF, and a
-  ``repro-run-report/4`` run report -- the same machine-readable format
+  ``repro-run-report/5`` run report -- the same machine-readable format
   the CLI writes with ``--report``, reused verbatim as the wire format
   (see ``docs/SERVING.md`` and ``docs/OBSERVABILITY.md``).
 
@@ -169,7 +169,7 @@ def job_envelope(
 ) -> tuple[dict, int]:
     """Build one ``GET /jobs/<id>`` response: (JSON body, HTTP status).
 
-    ``report`` is a ``repro-run-report/4`` payload (partial while the job
+    ``report`` is a ``repro-run-report/5`` payload (partial while the job
     runs, final afterwards); ``blif`` is the mapped netlist, present only
     for ``done`` jobs and byte-identical to the one-shot CLI's output.
     """

@@ -100,7 +100,7 @@ def report_section(
     race_winners: dict[str, int] | None = None,
     cost: TargetCost | None = None,
 ) -> dict:
-    """The ``target`` section of a ``repro-run-report/4`` document.
+    """The ``target`` section of a ``repro-run-report/5`` document.
 
     Flat scalars describing the run's technology target -- name, cell
     width, the per-target result-cache traffic (pulled from the engine

@@ -37,7 +37,7 @@ def multi_group_network():
 
 class TestMakeExecutor:
     def test_registry(self):
-        assert set(EXECUTORS) == {"serial", "process"}
+        assert set(EXECUTORS) == {"serial", "process", "remote"}
 
     def test_serial_default(self):
         assert isinstance(make_executor(FlowConfig()), SerialExecutor)

@@ -123,7 +123,7 @@ class TestProtocol:
         assert status == 200 and env["status"] == "done"
         assert env["blif"] == reference
         report = env["report"]
-        assert report["schema"] == "repro-run-report/4"
+        assert report["schema"] == "repro-run-report/5"
         assert report["meta"]["verified"] is True
         assert report["engine"]["executor"] == "process"
         names = [s["name"] for s in report["spans"]]

@@ -262,7 +262,7 @@ class TestExecutorFlag:
         report_path = tmp_path / "run.json"
         assert main(["synth", str(pla_file), "--report", str(report_path)]) == 0
         payload = validate_report(json.loads(report_path.read_text()))
-        assert payload["schema"] == "repro-run-report/4"
+        assert payload["schema"] == "repro-run-report/5"
         engine = payload["engine"]
         assert engine["executor"] == "serial"
         assert engine["tasks_total"] > 0
@@ -270,6 +270,22 @@ class TestExecutorFlag:
     def test_rejects_unknown_executor(self, pla_file):
         with pytest.raises(SystemExit):
             main(["synth", str(pla_file), "--executor", "quantum"])
+
+    def test_broker_without_remote_executor_exits_2(self, pla_file, capsys):
+        rc = main(["synth", str(pla_file), "--broker", "127.0.0.1:1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "remote" in err
+        assert "Traceback" not in err
+
+    def test_remote_executor_without_broker_exits_2(self, pla_file, capsys):
+        rc = main(["synth", str(pla_file), "--executor", "remote"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--broker" in err
+        assert "Traceback" not in err
 
 
 class TestBatch:

@@ -32,6 +32,7 @@ DOC_FILES = (
     "docs/CACHING.md",
     "docs/SERVING.md",
     "docs/TARGETS.md",
+    "docs/DISTRIBUTED.md",
 )
 
 _FENCE = re.compile(r"^```(\w*)\s*$")
